@@ -1,0 +1,104 @@
+// Command dcsim runs one Setup-2 datacenter consolidation simulation:
+// synthetic day-long traces, a chosen placement policy, and static or
+// dynamic voltage/frequency scaling. It prints Table-II-style results plus
+// the per-period breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/vmmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcsim: ")
+	var (
+		policy  = flag.String("policy", "corr", "placement policy: ffd, bfd, pcp, jointvm, corr")
+		vms     = flag.Int("vms", 40, "number of VM traces")
+		groups  = flag.Int("groups", 8, "number of correlated service groups")
+		servers = flag.Int("servers", 20, "server pool size")
+		hours   = flag.Int("hours", 24, "trace horizon in hours")
+		seed    = flag.Int64("seed", 1, "trace generator seed")
+		dynamic = flag.Bool("dynamic", false, "rescale v/f every minute instead of per period")
+		pctl    = flag.Float64("pctl", 1, "reference percentile for û (1 = peak)")
+		periods = flag.Bool("periods", false, "print the per-period breakdown")
+	)
+	flag.Parse()
+
+	dcfg := synth.DefaultDatacenterConfig()
+	dcfg.VMs = *vms
+	dcfg.Groups = *groups
+	dcfg.Day = time.Duration(*hours) * time.Hour
+	dcfg.Seed = *seed
+	ds := synth.Datacenter(dcfg)
+	vmList := vmmodel.FromSeries(ds.Names, ds.Fine)
+
+	cfg := sim.Config{
+		Spec:          server.XeonE5410(),
+		Power:         power.XeonE5410(),
+		MaxServers:    *servers,
+		PeriodSamples: 720,
+		Pctl:          *pctl,
+		Predictor:     predict.LastValue{},
+	}
+	if *dynamic {
+		cfg.RescaleEvery = 12
+	}
+	switch *policy {
+	case "ffd":
+		cfg.Policy = place.FFD{}
+		cfg.Governor = sim.WorstCase{}
+	case "bfd":
+		cfg.Policy = place.BFD{}
+		cfg.Governor = sim.WorstCase{}
+	case "pcp":
+		cfg.Policy = place.PCP{}
+		cfg.Governor = sim.WorstCase{}
+	case "jointvm":
+		cfg.Policy = place.JointVM{}
+		cfg.Governor = sim.WorstCase{}
+	case "corr":
+		m := core.NewCostMatrix(len(vmList), *pctl)
+		cfg.Matrix = m
+		cfg.Policy = &core.Allocator{Config: core.Config{Pctl: *pctl, THCost: 1.15, Alpha: 0.9}, Matrix: m}
+		cfg.Governor = sim.CorrAware{Matrix: m}
+	default:
+		log.Fatalf("unknown policy %q (want ffd, bfd, pcp, or corr)", *policy)
+	}
+
+	res, err := sim.Run(vmList, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := "static"
+	if *dynamic {
+		mode = "dynamic"
+	}
+	fmt.Printf("policy=%s governor=%s mode=%s vms=%d servers<=%d horizon=%dh seed=%d\n",
+		res.Policy, res.Governor, mode, len(vmList), *servers, *hours, *seed)
+	fmt.Printf("energy          %.1f kJ (mean %.0f W)\n", res.EnergyJ/1000, res.MeanPowerW)
+	fmt.Printf("max violations  %.1f %%\n", res.MaxViolationPct)
+	fmt.Printf("mean violations %.1f %%\n", res.MeanViolationPct)
+	fmt.Printf("mean active     %.1f servers\n", res.MeanActive)
+	fmt.Printf("migrations      %d\n", res.TotalMigrations)
+	if *periods {
+		t := report.NewTable("period", "active", "energy (kJ)", "max viol (%)")
+		for _, p := range res.Periods {
+			t.AddRow(fmt.Sprint(p.Period), fmt.Sprint(p.ActiveServers),
+				fmt.Sprintf("%.1f", p.EnergyJ/1000), fmt.Sprintf("%.1f", p.MaxViolationPct))
+		}
+		fmt.Print(t)
+	}
+}

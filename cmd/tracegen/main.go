@@ -1,0 +1,58 @@
+// Command tracegen emits the synthetic datacenter utilization traces
+// (Setup 2's stand-in for the proprietary dataset) as CSV, at coarse
+// (5-min) or fine (5-s) granularity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		vms    = flag.Int("vms", 40, "number of VM traces")
+		groups = flag.Int("groups", 8, "number of correlated service groups")
+		hours  = flag.Int("hours", 24, "horizon in hours")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		fine   = flag.Bool("fine", false, "emit 5-second samples instead of 5-minute means")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := synth.DefaultDatacenterConfig()
+	cfg.VMs = *vms
+	cfg.Groups = *groups
+	cfg.Day = time.Duration(*hours) * time.Hour
+	cfg.Seed = *seed
+	ds := synth.Datacenter(cfg)
+
+	series := ds.Coarse
+	if *fine {
+		series = ds.Fine
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, ds.Names, series); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d VMs x %d samples to %s\n",
+			len(series), series[0].Len(), *out)
+	}
+}

@@ -1,0 +1,37 @@
+// Ablation runs the sensitivity studies from DESIGN.md: the THcost
+// threshold, the reference percentile, the predictor, the affinity metric,
+// the correlation structure of the traces, and the monitoring window.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use shortened horizons")
+	flag.Parse()
+
+	o := exp.Full()
+	if *quick {
+		o = exp.Quick()
+	}
+	for _, run := range []func(exp.Options) (*exp.AblationResult, error){
+		exp.AblationThreshold,
+		exp.AblationReference,
+		exp.AblationPredictor,
+		exp.AblationMetric,
+		exp.AblationCorrelationStructure,
+		exp.AblationMatrixWindow,
+		exp.AblationLevels,
+		exp.AblationOracle,
+	} {
+		res, err := run(o)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(res)
+	}
+}

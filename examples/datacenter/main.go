@@ -1,0 +1,77 @@
+// Datacenter reproduces the paper's Setup 2 as a library walkthrough: a
+// day of synthetic utilization traces for 40 VMs in correlated service
+// groups, consolidated hourly onto 20 Xeon servers under three policies,
+// with static Eqn-4 frequency planning for the proposed one.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/vmmodel"
+)
+
+func main() {
+	ds := synth.Datacenter(synth.DefaultDatacenterConfig())
+	vms := vmmodel.FromSeries(ds.Names, ds.Fine)
+	fmt.Printf("generated %d VMs x %d fine samples (%d service groups)\n\n",
+		len(vms), vms[0].Demand.Len(), 8)
+
+	base := sim.Config{
+		Spec:          server.XeonE5410(),
+		Power:         power.XeonE5410(),
+		MaxServers:    20,
+		PeriodSamples: 720,
+		Pctl:          1,
+		Predictor:     predict.LastValue{},
+	}
+
+	run := func(name string, mutate func(*sim.Config)) *sim.Result {
+		cfg := base
+		mutate(&cfg)
+		res, err := sim.Run(vms, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("%s: %v", name, err))
+		}
+		return res
+	}
+
+	bfd := run("bfd", func(c *sim.Config) {
+		c.Policy = place.BFD{}
+		c.Governor = sim.WorstCase{}
+	})
+	pcp := run("pcp", func(c *sim.Config) {
+		c.Policy = place.PCP{}
+		c.Governor = sim.WorstCase{}
+	})
+	prop := run("corr", func(c *sim.Config) {
+		m := core.NewCostMatrix(len(vms), 1)
+		c.Matrix = m
+		c.Policy = &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
+		c.Governor = sim.CorrAware{Matrix: m}
+	})
+
+	t := report.NewTable("policy", "normalized power", "max violations (%)", "mean active servers")
+	for _, r := range []struct {
+		name string
+		res  *sim.Result
+	}{{"BFD", bfd}, {"PCP", pcp}, {"Proposed", prop}} {
+		t.AddRow(r.name,
+			fmt.Sprintf("%.3f", r.res.NormalizedPower(bfd)),
+			fmt.Sprintf("%.1f", r.res.MaxViolationPct),
+			fmt.Sprintf("%.1f", r.res.MeanActive))
+	}
+	fmt.Print(t)
+	fmt.Println()
+	fmt.Printf("Proposed saves %.1f%% power and removes %.1f pp of violations vs BFD\n",
+		100*(1-prop.NormalizedPower(bfd)), bfd.MaxViolationPct-prop.MaxViolationPct)
+	fmt.Println("(PCP tracks BFD because envelope clustering collapses to one cluster")
+	fmt.Println(" on fast-changing scale-out traces — the paper's Section V-B observation.)")
+}

@@ -1,0 +1,54 @@
+// Websearch reproduces the paper's Setup 1 interactively: two CloudSuite-
+// style search clusters (front-end + 2 ISNs each) on two 8-core servers,
+// comparing the three placements of Fig. 4 and the frequency trade of
+// Fig. 5.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/websearch"
+)
+
+func main() {
+	cfg := websearch.DefaultConfig()
+	fmt.Println("Two web-search clusters, client waves 0..300 (sine / cosine), 20 min")
+	fmt.Println()
+
+	type run struct {
+		pl    *websearch.Placement
+		label string
+	}
+	fmax, fmin := 2.1, 1.9
+	runs := []run{
+		{websearch.Segregated(1), "Segregated @2.1GHz"},
+		{websearch.SharedUnCorr(1), "Shared-UnCorr @2.1GHz"},
+		{websearch.SharedCorr(1), "Shared-Corr @2.1GHz"},
+		{websearch.SharedCorr(fmin / fmax), "Shared-Corr @1.9GHz"},
+	}
+
+	t := report.NewTable("placement", "p90 C1 (s)", "p90 C2 (s)", "peak server util")
+	for _, r := range runs {
+		res, err := websearch.Run(cfg, r.pl)
+		if err != nil {
+			panic(err)
+		}
+		peak := 0.0
+		for _, pu := range res.PoolUtil {
+			if m := pu.Downsample(30).Max(); m > peak {
+				peak = m
+			}
+		}
+		t.AddRow(r.label,
+			fmt.Sprintf("%.3f", res.P90[0]),
+			fmt.Sprintf("%.3f", res.P90[1]),
+			fmt.Sprintf("%.2f", peak))
+	}
+	fmt.Print(t)
+	fmt.Println()
+	fmt.Println("Reading the table (paper Figs. 4-5):")
+	fmt.Println(" - sharing cores beats 4-core partitions (queues drain into idle cores);")
+	fmt.Println(" - pairing anti-correlated ISNs evens the peaks and trims the tail further;")
+	fmt.Println(" - the evened peak buys a lower frequency level at almost no latency cost.")
+}

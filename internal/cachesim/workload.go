@@ -1,0 +1,187 @@
+package cachesim
+
+import (
+	"math/rand"
+)
+
+// Workload is a synthetic L2 access stream with an instruction-level
+// intensity: APKI is the number of L2 accesses per kilo-instruction (the
+// L1s filter the rest), and BaseCPI is the workload's cycles-per-
+// instruction when every L2 access hits.
+type Workload struct {
+	Name    string
+	APKI    float64
+	BaseCPI float64
+	next    func() uint64
+}
+
+// Next returns the next L2 access address.
+func (w *Workload) Next() uint64 { return w.next() }
+
+const line = 64
+
+// WebSearch models a CloudSuite index-serving node: a modest hot region
+// (index metadata, dictionaries) that a sane cache holds, plus a dominant
+// stream of references into a multi-hundred-megabyte index far beyond any
+// L2 — the defining property of scale-out workloads (Ferdman et al.).
+// hotFrac of accesses go to the hot region; the rest sweep the index.
+func WebSearch(seed int64) *Workload {
+	const (
+		hotBytes   = 512 << 10 // 512 KiB hot region
+		indexBytes = 512 << 20 // 512 MiB index shard
+		hotFrac    = 0.888     // tuned to ~11% L2 miss rate
+	)
+	rng := rand.New(rand.NewSource(seed))
+	return &Workload{
+		Name:    "websearch",
+		APKI:    21,
+		BaseCPI: 0.85,
+		next: func() uint64 {
+			if rng.Float64() < hotFrac {
+				return uint64(rng.Intn(hotBytes/line)) * line
+			}
+			return 1<<32 + uint64(rng.Intn(indexBytes/line))*line
+		},
+	}
+}
+
+// Blackscholes: small per-thread state, highly compute-bound, streaming
+// option data that fits the cache.
+func Blackscholes(seed int64) *Workload {
+	const ws = 2 << 20
+	rng := rand.New(rand.NewSource(seed))
+	pos := uint64(0)
+	return &Workload{
+		Name:    "blackscholes",
+		APKI:    4,
+		BaseCPI: 0.9,
+		next: func() uint64 {
+			pos = (pos + line) % ws
+			if rng.Float64() < 0.02 {
+				pos = uint64(rng.Intn(ws/line)) * line
+			}
+			return 2<<32 + pos
+		},
+	}
+}
+
+// Swaptions: tiny working set, Monte-Carlo compute loop.
+func Swaptions(seed int64) *Workload {
+	const ws = 1 << 20
+	rng := rand.New(rand.NewSource(seed))
+	return &Workload{
+		Name:    "swaptions",
+		APKI:    3,
+		BaseCPI: 0.95,
+		next: func() uint64 {
+			return 3<<32 + uint64(rng.Intn(ws/line))*line
+		},
+	}
+}
+
+// Facesim: medium working set with strided physics sweeps.
+func Facesim(seed int64) *Workload {
+	const ws = 48 << 20
+	rng := rand.New(rand.NewSource(seed))
+	pos := uint64(0)
+	return &Workload{
+		Name:    "facesim",
+		APKI:    12,
+		BaseCPI: 1.0,
+		next: func() uint64 {
+			pos = (pos + 4*line) % ws
+			if rng.Float64() < 0.01 {
+				pos = uint64(rng.Intn(ws/line)) * line
+			}
+			return 4<<32 + pos
+		},
+	}
+}
+
+// Canneal: large working set with essentially random pointer chasing —
+// the most cache-hostile PARSEC co-runner.
+func Canneal(seed int64) *Workload {
+	const ws = 256 << 20
+	rng := rand.New(rand.NewSource(seed))
+	return &Workload{
+		Name:    "canneal",
+		APKI:    15,
+		BaseCPI: 1.1,
+		next: func() uint64 {
+			return 5<<32 + uint64(rng.Intn(ws/line))*line
+		},
+	}
+}
+
+// Metrics are the Table-I observables for one workload.
+type Metrics struct {
+	Name     string
+	IPC      float64
+	MPKI     float64 // L2 misses per kilo-instruction
+	MissRate float64 // L2 miss ratio (misses / L2 accesses)
+}
+
+// missPenalty is the memory-access penalty in cycles applied per L2 miss.
+const missPenalty = 200
+
+// ipc computes IPC from the base CPI and the L2 miss traffic.
+func ipc(baseCPI, mpki float64) float64 {
+	return 1 / (baseCPI + mpki/1000*missPenalty)
+}
+
+// RunAlone measures a workload on a private cache of the given geometry:
+// warmupKI and measureKI are in kilo-instructions.
+func RunAlone(w *Workload, cacheBytes, ways int, warmupKI, measureKI int) (Metrics, error) {
+	c, err := NewCache(cacheBytes, ways, line)
+	if err != nil {
+		return Metrics{}, err
+	}
+	run := func(ki int) {
+		for k := 0; k < ki; k++ {
+			n := int(w.APKI)
+			for a := 0; a < n; a++ {
+				c.Access(w.Next())
+			}
+		}
+	}
+	run(warmupKI)
+	c.ResetStats()
+	run(measureKI)
+	mpki := float64(c.Misses()) / float64(measureKI)
+	return Metrics{Name: w.Name, IPC: ipc(w.BaseCPI, mpki), MPKI: mpki, MissRate: c.MissRate()}, nil
+}
+
+// RunShared measures two workloads time-sharing one cache, interleaving at
+// kilo-instruction granularity (both cores progress together, as on the
+// paper's co-located testbed). It returns metrics for each workload.
+func RunShared(a, b *Workload, cacheBytes, ways int, warmupKI, measureKI int) (Metrics, Metrics, error) {
+	c, err := NewCache(cacheBytes, ways, line)
+	if err != nil {
+		return Metrics{}, Metrics{}, err
+	}
+	var missA, missB int64
+	run := func(ki int, count bool) {
+		for k := 0; k < ki; k++ {
+			for i := 0; i < int(a.APKI); i++ {
+				if !c.Access(a.Next()) && count {
+					missA++
+				}
+			}
+			for i := 0; i < int(b.APKI); i++ {
+				if !c.Access(b.Next()) && count {
+					missB++
+				}
+			}
+		}
+	}
+	run(warmupKI, false)
+	c.ResetStats()
+	run(measureKI, true)
+	mpkiA := float64(missA) / float64(measureKI)
+	mpkiB := float64(missB) / float64(measureKI)
+	ma := Metrics{Name: a.Name, IPC: ipc(a.BaseCPI, mpkiA), MPKI: mpkiA,
+		MissRate: mpkiA / a.APKI}
+	mb := Metrics{Name: b.Name, IPC: ipc(b.BaseCPI, mpkiB), MPKI: mpkiB,
+		MissRate: mpkiB / b.APKI}
+	return ma, mb, nil
+}

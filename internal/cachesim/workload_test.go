@@ -1,0 +1,103 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	l2Bytes = 6 << 20
+	l2Ways  = 16
+	warmKI  = 20000
+	measKI  = 50000
+)
+
+func TestWebSearchAloneCalibration(t *testing.T) {
+	m, err := RunAlone(WebSearch(1), l2Bytes, l2Ways, warmKI, measKI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table-I targets: IPC ~0.75, L2 MPKI ~2.4, miss rate ~11%.
+	if m.MissRate < 0.08 || m.MissRate > 0.15 {
+		t.Fatalf("web search miss rate = %v, want ~0.11", m.MissRate)
+	}
+	if m.MPKI < 1.8 || m.MPKI > 3.2 {
+		t.Fatalf("web search MPKI = %v, want ~2.4", m.MPKI)
+	}
+	if m.IPC < 0.65 || m.IPC > 0.90 {
+		t.Fatalf("web search IPC = %v, want ~0.75", m.IPC)
+	}
+}
+
+func TestCoLocationBarelyMovesWebSearch(t *testing.T) {
+	// The Table-I claim: against every PARSEC co-runner, web search's
+	// metrics move only marginally, because its misses come from an
+	// index footprint no cache can hold while its hot region is small
+	// enough to defend.
+	alone, err := RunAlone(WebSearch(1), l2Bytes, l2Ways, warmKI, measKI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, co := range []*Workload{Blackscholes(2), Swaptions(3), Facesim(4), Canneal(5)} {
+		ws, _, err := RunShared(WebSearch(1), co, l2Bytes, l2Ways, warmKI, measKI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(ws.IPC-alone.IPC) / alone.IPC; rel > 0.05 {
+			t.Errorf("w/ %s: IPC moved %.1f%% (%.3f -> %.3f)", co.Name, rel*100, alone.IPC, ws.IPC)
+		}
+		if d := math.Abs(ws.MissRate - alone.MissRate); d > 0.03 {
+			t.Errorf("w/ %s: miss rate moved %.3f (%.3f -> %.3f)", co.Name, d, alone.MissRate, ws.MissRate)
+		}
+	}
+}
+
+func TestCoRunnerProfilesDiffer(t *testing.T) {
+	// Sanity on the co-runner spectrum: canneal must miss far more than
+	// blackscholes.
+	bs, err := RunAlone(Blackscholes(1), l2Bytes, l2Ways, warmKI, measKI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := RunAlone(Canneal(1), l2Bytes, l2Ways, warmKI, measKI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.MissRate > 0.10 {
+		t.Fatalf("blackscholes miss rate = %v, want small", bs.MissRate)
+	}
+	if cn.MissRate < 0.8 {
+		t.Fatalf("canneal miss rate = %v, want near 1", cn.MissRate)
+	}
+	if bs.IPC <= cn.IPC {
+		t.Fatalf("blackscholes IPC (%v) should exceed canneal (%v)", bs.IPC, cn.IPC)
+	}
+}
+
+func TestRunSharedSymmetricGeometryErrors(t *testing.T) {
+	if _, err := RunAlone(WebSearch(1), 1000, 3, 10, 10); err == nil {
+		t.Fatal("bad geometry should error")
+	}
+	if _, _, err := RunShared(WebSearch(1), Canneal(2), 1000, 3, 10, 10); err == nil {
+		t.Fatal("bad geometry should error")
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a := WebSearch(7)
+	b := WebSearch(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed should generate the same stream")
+		}
+	}
+}
+
+func TestIPCModelMonotone(t *testing.T) {
+	if ipc(1, 1) <= ipc(1, 5) {
+		t.Fatal("more misses must not increase IPC")
+	}
+	if ipc(0.8, 2) <= ipc(1.2, 2) {
+		t.Fatal("higher base CPI must not increase IPC")
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/place"
+	"repro/internal/server"
+)
+
+// Config parameterizes the correlation-aware allocator of Fig. 2.
+type Config struct {
+	// Pctl is the reference percentile for û (>= 1 means peak, the
+	// paper's Setup-2 choice).
+	Pctl float64
+	// THCost is the initial correlation threshold: a VM joins a non-empty
+	// server only when its weighted affinity cost against the residents
+	// is at least THCost. Values slightly above 1 demand meaningful
+	// anti-correlation; 1 accepts anything.
+	THCost float64
+	// Alpha in (0,1) is the relaxation factor applied to THCost whenever
+	// a full pass leaves VMs unallocated (Fig. 2 line 17).
+	Alpha float64
+}
+
+// DefaultConfig matches the paper's operating point: peak reference,
+// a mildly selective threshold, and a 10% relaxation per round.
+func DefaultConfig() Config {
+	return Config{Pctl: 1, THCost: 1.15, Alpha: 0.9}
+}
+
+// Allocator is the paper's correlation-aware VM placement (Fig. 2). It
+// implements place.Policy so the simulator can swap it against the
+// baselines.
+//
+// Pairwise costs come from Matrix when it is set and tracks the same VM
+// count as the request slice (the simulator feeds it one sample at a time,
+// the UPDATE phase of Fig. 2); otherwise they are computed batch-style from
+// each request's Window, so the allocator also works standalone.
+type Allocator struct {
+	Config
+	Matrix *CostMatrix
+	// CostFn, when set, overrides the pairwise cost source entirely.
+	// The Pearson-affinity ablation (A4 in DESIGN.md) uses this to swap
+	// Eqn 1 for a rescaled Pearson correlation.
+	CostFn PairCostFunc
+}
+
+// NewAllocator returns an allocator with the given config and no matrix.
+func NewAllocator(cfg Config) *Allocator { return &Allocator{Config: cfg} }
+
+// Name implements place.Policy.
+func (a *Allocator) Name() string { return "CorrAware" }
+
+// costFunc picks the pairwise cost source for this request set.
+func (a *Allocator) costFunc(reqs []place.Request) PairCostFunc {
+	if a.CostFn != nil {
+		return a.CostFn
+	}
+	if a.Matrix != nil && a.Matrix.N() == len(reqs) && a.Matrix.Samples() > 0 {
+		return a.Matrix.Cost
+	}
+	pctl := a.Pctl
+	if pctl <= 0 {
+		pctl = 1
+	}
+	// Batch fallback: memoized pairwise costs over the request windows.
+	cache := make(map[[2]int]float64)
+	return func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		if i > j {
+			i, j = j, i
+		}
+		key := [2]int{i, j}
+		if c, ok := cache[key]; ok {
+			return c
+		}
+		c := 1.0
+		if reqs[i].Window != nil && reqs[j].Window != nil {
+			c = CostOf(reqs[i].Window.Samples(), reqs[j].Window.Samples(), pctl)
+		}
+		cache[key] = c
+		return c
+	}
+}
+
+// affinity returns the weighted average Eqn-1 cost of candidate v against
+// the members already placed on a server (weights: member û shares). An
+// empty server imposes no correlation constraint and returns +Inf.
+func affinity(v int, members []int, refs []float64, cost PairCostFunc) float64 {
+	if len(members) == 0 {
+		return math.Inf(1)
+	}
+	total := 0.0
+	for _, k := range members {
+		total += refs[k]
+	}
+	if total <= 1e-12 {
+		// Members with no measured demand carry no correlation signal.
+		return math.Inf(1)
+	}
+	out := 0.0
+	for _, k := range members {
+		out += refs[k] / total * cost(v, k)
+	}
+	return out
+}
+
+// EstimateServers is Eqn (3): the minimum number of servers needed to host
+// the given reference utilizations at full capacity.
+func EstimateServers(refs []float64, cores int) int {
+	sum := 0.0
+	for _, r := range refs {
+		sum += r
+	}
+	n := int(math.Ceil(sum / float64(cores)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Place implements place.Policy with the two-phase algorithm of Fig. 2.
+// The UPDATE phase (prediction, sorting, cost refresh, Eqn-3 server count)
+// is distributed between the caller (who predicts û into Request.Ref and
+// feeds the matrix) and the body below; the ALLOCATE phase is implemented
+// literally: repeatedly take the server with the largest remaining
+// capacity, fill it with the highest-affinity unallocated VMs above THcost,
+// and relax THcost by Alpha whenever a pass strands VMs.
+func (a *Allocator) Place(reqs []place.Request, spec server.Spec, maxServers int) (*place.Placement, error) {
+	if maxServers < 1 {
+		return nil, place.ErrNoServers
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cost := a.costFunc(reqs)
+	refs := make([]float64, len(reqs))
+	for i, r := range reqs {
+		refs[i] = r.Ref
+	}
+
+	// Eqn 3: start with the estimated minimal active server count.
+	nServers := EstimateServers(refs, spec.Cores)
+	if nServers > maxServers {
+		nServers = maxServers
+	}
+	cap := spec.Capacity()
+	rem := make([]float64, nServers)
+	for i := range rem {
+		rem[i] = cap
+	}
+	members := make([][]int, nServers)
+
+	// Unallocated VMs in decreasing û order (Fig. 2 line 6).
+	unalloc := make([]int, len(reqs))
+	for i := range unalloc {
+		unalloc[i] = i
+	}
+	sort.SliceStable(unalloc, func(x, y int) bool { return refs[unalloc[x]] > refs[unalloc[y]] })
+
+	remove := func(v int) {
+		for i, u := range unalloc {
+			if u == v {
+				unalloc = append(unalloc[:i], unalloc[i+1:]...)
+				return
+			}
+		}
+	}
+
+	th := a.THCost
+	alpha := a.Alpha
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.9
+	}
+	for len(unalloc) > 0 {
+		progress := false
+		// Servers in decreasing remaining-capacity order (lines 10, 18).
+		order := make([]int, len(rem))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(x, y int) bool { return rem[order[x]] > rem[order[y]] })
+
+		for _, s := range order {
+			// Fill this server while eligible VMs remain (lines 11-16).
+			for {
+				best, bestScore := -1, math.Inf(-1)
+				for _, v := range unalloc {
+					if refs[v] > rem[s]+1e-12 {
+						continue
+					}
+					score := affinity(v, members[s], refs, cost)
+					if score < th {
+						continue
+					}
+					if score > bestScore {
+						best, bestScore = v, score
+					}
+				}
+				if best == -1 {
+					break
+				}
+				members[s] = append(members[s], best)
+				rem[s] -= refs[best]
+				remove(best)
+				progress = true
+			}
+		}
+		if len(unalloc) == 0 {
+			break
+		}
+		if !progress && th < 1e-3 {
+			// The threshold is fully relaxed and still nothing fits:
+			// this is a pure capacity shortfall. Open another server
+			// when allowed, otherwise overcommit the roomiest one.
+			v := unalloc[0]
+			if len(rem) < maxServers {
+				rem = append(rem, cap-refs[v])
+				members = append(members, []int{v})
+			} else {
+				s := 0
+				for i := range rem {
+					if rem[i] > rem[s] {
+						s = i
+					}
+				}
+				members[s] = append(members[s], v)
+				rem[s] -= refs[v]
+			}
+			remove(v)
+			continue
+		}
+		// Fig. 2 line 17: degenerate the threshold and retry.
+		th *= alpha
+		if th < 1e-3 {
+			th = 0
+		}
+	}
+
+	assign := make([]int, len(reqs))
+	for s, ms := range members {
+		for _, v := range ms {
+			assign[v] = s
+		}
+	}
+	return &place.Placement{NumServers: len(rem), Assign: assign}, nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/place"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func spec8() server.Spec { return server.XeonE5410() }
+
+// phasedWindow returns a demand series that is high on the given phase
+// (0 or 1) of alternating blocks.
+func phasedWindow(phase int, n int, seed int64) *trace.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := trace.New(time.Second, n)
+	block := 10
+	for i := 0; i < n; i++ {
+		hi := (i/block)%2 == phase
+		v := 0.4 + 0.1*rng.Float64()
+		if hi {
+			v = 3.4 + 0.3*rng.Float64()
+		}
+		s.Append(v)
+	}
+	return s
+}
+
+func TestEstimateServers(t *testing.T) {
+	if got := EstimateServers([]float64{4, 4, 4}, 8); got != 2 {
+		t.Fatalf("12 cores of demand on 8-core servers = %d, want 2", got)
+	}
+	if got := EstimateServers([]float64{1}, 8); got != 1 {
+		t.Fatalf("tiny demand = %d, want 1", got)
+	}
+	if got := EstimateServers(nil, 8); got != 1 {
+		t.Fatalf("no demand = %d, want 1", got)
+	}
+	if got := EstimateServers([]float64{8.1}, 8); got != 2 {
+		t.Fatalf("slight overflow = %d, want 2", got)
+	}
+}
+
+func TestAllocatorSeparatesCorrelatedVMs(t *testing.T) {
+	// Two anti-phased groups of two 3.5-core VMs: the allocator must pair
+	// across groups (one VM of each phase per server), never within.
+	const n = 200
+	var reqs []place.Request
+	for g := 0; g < 2; g++ {
+		for k := 0; k < 2; k++ {
+			w := phasedWindow(g, n, int64(g*10+k))
+			reqs = append(reqs, place.Request{
+				Ref:     w.Max(),
+				OffPeak: w.Percentile(0.9),
+				Window:  w,
+			})
+		}
+	}
+	a := NewAllocator(DefaultConfig())
+	p, err := a.Place(reqs, spec8(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Requests 0,1 are group 0; 2,3 are group 1.
+	if p.Assign[0] == p.Assign[1] {
+		t.Fatalf("correlated VMs 0,1 co-located: %v", p.Assign)
+	}
+	if p.Assign[2] == p.Assign[3] {
+		t.Fatalf("correlated VMs 2,3 co-located: %v", p.Assign)
+	}
+}
+
+func TestAllocatorUsesEstimatedServerCount(t *testing.T) {
+	// Total demand ~14 cores over 8-core servers -> Eqn 3 says 2 servers.
+	var reqs []place.Request
+	for i := 0; i < 4; i++ {
+		w := phasedWindow(i%2, 100, int64(i))
+		reqs = append(reqs, place.Request{Ref: 3.5, OffPeak: 3, Window: w})
+	}
+	a := NewAllocator(DefaultConfig())
+	p, err := a.Place(reqs, spec8(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumServers != 2 {
+		t.Fatalf("servers = %d, want Eqn-3 estimate 2", p.NumServers)
+	}
+}
+
+func TestAllocatorOvercommitsWhenCapped(t *testing.T) {
+	var reqs []place.Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, place.Request{Ref: 6})
+	}
+	a := NewAllocator(DefaultConfig())
+	p, err := a.Place(reqs, spec8(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumServers > 2 {
+		t.Fatalf("servers = %d, exceeds cap 2", p.NumServers)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorRejectsZeroServers(t *testing.T) {
+	a := NewAllocator(DefaultConfig())
+	if _, err := a.Place(nil, spec8(), 0); err == nil {
+		t.Fatal("maxServers=0 should error")
+	}
+}
+
+func TestAllocatorWithStreamingMatrix(t *testing.T) {
+	// Feed the matrix anti-phased samples and verify the allocator uses
+	// it (no windows in the requests at all).
+	m := NewCostMatrix(4, 1)
+	for k := 0; k < 300; k++ {
+		hi := 3.5
+		lo := 0.5
+		if (k/10)%2 == 0 {
+			m.Add([]float64{hi, hi, lo, lo})
+		} else {
+			m.Add([]float64{lo, lo, hi, hi})
+		}
+	}
+	reqs := []place.Request{{Ref: 3.5}, {Ref: 3.5}, {Ref: 3.5}, {Ref: 3.5}}
+	a := &Allocator{Config: DefaultConfig(), Matrix: m}
+	p, err := a.Place(reqs, spec8(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Assign[0] == p.Assign[1] || p.Assign[2] == p.Assign[3] {
+		t.Fatalf("streaming matrix not consulted: %v", p.Assign)
+	}
+}
+
+func TestAllocatorPlacesEverythingProperty(t *testing.T) {
+	a := NewAllocator(DefaultConfig())
+	f := func(rawRefs []uint8, maxRaw uint8) bool {
+		if len(rawRefs) > 30 {
+			rawRefs = rawRefs[:30]
+		}
+		maxServers := int(maxRaw%15) + 1
+		reqs := make([]place.Request, len(rawRefs))
+		for i, r := range rawRefs {
+			reqs[i] = place.Request{Ref: float64(r)/40 + 0.05}
+		}
+		p, err := a.Place(reqs, spec8(), maxServers)
+		if err != nil {
+			return false
+		}
+		return p.NumServers <= maxServers && p.Validate() == nil && len(p.Assign) == len(reqs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorDeterministic(t *testing.T) {
+	var reqs []place.Request
+	for i := 0; i < 12; i++ {
+		w := phasedWindow(i%2, 120, int64(i))
+		reqs = append(reqs, place.Request{Ref: w.Max(), Window: w})
+	}
+	a := NewAllocator(DefaultConfig())
+	p1, err := a.Place(reqs, spec8(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Place(reqs, spec8(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Assign {
+		if p1.Assign[i] != p2.Assign[i] {
+			t.Fatal("allocator is not deterministic")
+		}
+	}
+}
+
+func TestAllocatorPartitionsVMs(t *testing.T) {
+	// Property: the placement is a partition — every VM on exactly one
+	// server, and the per-server member lists cover all VMs.
+	f := func(rawRefs []uint8) bool {
+		if len(rawRefs) == 0 || len(rawRefs) > 25 {
+			return true
+		}
+		reqs := make([]place.Request, len(rawRefs))
+		for i, r := range rawRefs {
+			reqs[i] = place.Request{Ref: float64(r)/50 + 0.1}
+		}
+		a := NewAllocator(DefaultConfig())
+		p, err := a.Place(reqs, spec8(), 10)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, len(reqs))
+		for s := 0; s < p.NumServers; s++ {
+			for _, v := range p.VMsOn(s) {
+				if seen[v] {
+					return false // on two servers
+				}
+				seen[v] = true
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false // stranded VM
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorThresholdRelaxation(t *testing.T) {
+	// With an absurdly high threshold, the relaxation loop must still
+	// terminate and place everything (eventually threshold-free).
+	cfg := DefaultConfig()
+	cfg.THCost = 50
+	a := NewAllocator(cfg)
+	reqs := []place.Request{{Ref: 4}, {Ref: 4}, {Ref: 4}, {Ref: 4}}
+	p, err := a.Place(reqs, spec8(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/place"
+	"repro/internal/server"
+)
+
+// FreqRaw computes the continuous Eqn-4 frequency for a server hosting the
+// given members:
+//
+//	f = (1 / Cost_server) · (Σ û / Ncore) · fmax
+//
+// The second factor is the frequency that would cover the worst case of all
+// member peaks coinciding; the 1/Cost_server factor is the discount the
+// empirical Fig.-3 lower bound licenses, because anti-correlated members'
+// actual aggregate peak is smaller than the sum of peaks by that ratio.
+func FreqRaw(members []int, refs []float64, cost PairCostFunc, spec server.Spec) float64 {
+	if len(members) == 0 {
+		return spec.FMin()
+	}
+	sum := 0.0
+	for _, v := range members {
+		sum += refs[v]
+	}
+	cs := ServerCost(members, refs, cost)
+	return (1 / cs) * (sum / float64(spec.Cores)) * spec.FMax()
+}
+
+// FreqForServer snaps the Eqn-4 frequency up to the nearest available level
+// of the spec (never below fmin, never above fmax).
+func FreqForServer(members []int, refs []float64, cost PairCostFunc, spec server.Spec) float64 {
+	return spec.LevelFor(FreqRaw(members, refs, cost, spec))
+}
+
+// FreqPlan returns the per-server frequency levels for a whole placement,
+// the static-scaling mode of the paper's Table II(a): levels are fixed at
+// placement time from the predicted per-VM references.
+func FreqPlan(p *place.Placement, refs []float64, cost PairCostFunc, spec server.Spec) []float64 {
+	out := make([]float64, p.NumServers)
+	for s := 0; s < p.NumServers; s++ {
+		out[s] = FreqForServer(p.VMsOn(s), refs, cost, spec)
+	}
+	return out
+}
+
+// WorstCaseFreqPlan is the correlation-oblivious counterpart used by the
+// BFD and PCP baselines in static mode: each server runs at the lowest
+// level whose capacity covers the sum of the predicted member references
+// (no correlation discount).
+func WorstCaseFreqPlan(p *place.Placement, refs []float64, spec server.Spec) []float64 {
+	out := make([]float64, p.NumServers)
+	for s := 0; s < p.NumServers; s++ {
+		sum := 0.0
+		for _, v := range p.VMsOn(s) {
+			sum += refs[v]
+		}
+		out[s] = spec.MinLevelForDemand(sum)
+	}
+	return out
+}

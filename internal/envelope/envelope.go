@@ -1,0 +1,91 @@
+// Package envelope implements the envelope-based workload classification of
+// Verma et al. (USENIX ATC 2009), which the PCP baseline in the paper uses:
+// a VM's envelope is the binary sequence that is 1 wherever CPU utilization
+// exceeds the VM's off-peak (e.g. 90th percentile) level, and VMs are
+// clustered so that envelopes within a cluster overlap while envelopes
+// across clusters do not.
+package envelope
+
+import (
+	"repro/internal/trace"
+)
+
+// Extract returns the binary envelope of a series against a threshold:
+// true where the sample exceeds the threshold.
+func Extract(s *trace.Series, threshold float64) []bool {
+	env := make([]bool, s.Len())
+	for i := range env {
+		env[i] = s.At(i) > threshold
+	}
+	return env
+}
+
+// ExtractOffPeak extracts the envelope against the series' own pctl-th
+// percentile, the form PCP uses.
+func ExtractOffPeak(s *trace.Series, pctl float64) []bool {
+	return Extract(s, s.Percentile(pctl))
+}
+
+// Overlap returns the Jaccard overlap of two envelopes: the fraction of
+// positions marked in either envelope that are marked in both. Two
+// all-false envelopes overlap fully (1) by convention — VMs that never
+// exceed their off-peak are indistinguishable to PCP.
+func Overlap(a, b []bool) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	both, either := 0, 0
+	for i := 0; i < n; i++ {
+		if a[i] || b[i] {
+			either++
+			if a[i] && b[i] {
+				both++
+			}
+		}
+	}
+	if either == 0 {
+		return 1
+	}
+	return float64(both) / float64(either)
+}
+
+// Cluster groups envelopes greedily: each envelope joins the first existing
+// cluster whose union envelope it overlaps by more than maxOverlap,
+// otherwise it founds a new cluster. It returns the cluster index per input
+// and the number of clusters.
+//
+// With the fast-changing, strongly synchronized envelopes of scale-out
+// workloads every pair overlaps, the result collapses to one cluster, and —
+// as the paper observes in Section V-B — PCP degenerates to plain BFD.
+func Cluster(envs [][]bool, maxOverlap float64) (assign []int, clusters int) {
+	assign = make([]int, len(envs))
+	var unions [][]bool
+	for i, env := range envs {
+		placed := false
+		for c, u := range unions {
+			if Overlap(env, u) > maxOverlap {
+				assign[i] = c
+				merge(u, env)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			assign[i] = len(unions)
+			unions = append(unions, append([]bool(nil), env...))
+		}
+	}
+	return assign, len(unions)
+}
+
+// merge ORs src into dst in place over the common prefix.
+func merge(dst, src []bool) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = dst[i] || src[i]
+	}
+}

@@ -1,0 +1,147 @@
+package envelope
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestExtract(t *testing.T) {
+	s := trace.NewFromSamples(time.Second, []float64{1, 5, 2, 8, 3})
+	env := Extract(s, 2.5)
+	want := []bool{false, true, false, true, true}
+	for i := range want {
+		if env[i] != want[i] {
+			t.Fatalf("env[%d] = %v, want %v", i, env[i], want[i])
+		}
+	}
+}
+
+func TestExtractOffPeak(t *testing.T) {
+	// 10 samples 1..10; 90th percentile ~ 9.1, so only the 10 exceeds it.
+	s := trace.NewFromSamples(time.Second, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	env := ExtractOffPeak(s, 0.9)
+	count := 0
+	for _, e := range env {
+		if e {
+			count++
+		}
+	}
+	if count != 1 || !env[9] {
+		t.Fatalf("envelope should mark exactly the peak sample, got %v", env)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []bool{true, true, false, false}
+	b := []bool{true, false, true, false}
+	// both=1, either=3.
+	if got := Overlap(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("overlap = %v, want 1/3", got)
+	}
+	if got := Overlap(a, a); got != 1 {
+		t.Fatalf("self overlap = %v, want 1", got)
+	}
+	disjoint := []bool{false, false, true, true}
+	if got := Overlap(a, disjoint); got != 0 {
+		t.Fatalf("disjoint overlap = %v, want 0", got)
+	}
+	empty := []bool{false, false}
+	if got := Overlap(empty, empty); got != 1 {
+		t.Fatalf("all-false envelopes should overlap fully, got %v", got)
+	}
+}
+
+func TestOverlapBounds(t *testing.T) {
+	f := func(a, b []bool) bool {
+		o := Overlap(a, b)
+		return o >= 0 && o <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapSymmetric(t *testing.T) {
+	f := func(a, b []bool) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		return Overlap(a[:n], b[:n]) == Overlap(b[:n], a[:n])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterDisjointEnvelopes(t *testing.T) {
+	// Three mutually disjoint envelopes must form three clusters.
+	envs := [][]bool{
+		{true, false, false},
+		{false, true, false},
+		{false, false, true},
+	}
+	assign, n := Cluster(envs, 0.05)
+	if n != 3 {
+		t.Fatalf("clusters = %d, want 3", n)
+	}
+	if assign[0] == assign[1] || assign[1] == assign[2] || assign[0] == assign[2] {
+		t.Fatalf("assignments should be distinct: %v", assign)
+	}
+}
+
+func TestClusterIdenticalEnvelopes(t *testing.T) {
+	env := []bool{true, false, true, false}
+	envs := [][]bool{env, env, env, env}
+	assign, n := Cluster(envs, 0.05)
+	if n != 1 {
+		t.Fatalf("identical envelopes should form one cluster, got %d", n)
+	}
+	for _, a := range assign {
+		if a != 0 {
+			t.Fatalf("assign = %v", assign)
+		}
+	}
+}
+
+func TestClusterMergesViaUnion(t *testing.T) {
+	// c overlaps the union of a and b even though it is disjoint from a.
+	a := []bool{true, true, false, false}
+	b := []bool{true, false, true, false}
+	c := []bool{false, false, true, false}
+	assign, n := Cluster([][]bool{a, b, c}, 0.2)
+	if n != 1 {
+		t.Fatalf("clusters = %d, want 1 (union growth)", n)
+	}
+	_ = assign
+}
+
+func TestClusterEmptyInput(t *testing.T) {
+	assign, n := Cluster(nil, 0.1)
+	if n != 0 || len(assign) != 0 {
+		t.Fatalf("empty input: %v, %d", assign, n)
+	}
+}
+
+func TestClusterAssignmentsInRange(t *testing.T) {
+	f := func(envs [][]bool, thRaw uint8) bool {
+		th := float64(thRaw) / 255
+		assign, n := Cluster(envs, th)
+		if len(assign) != len(envs) {
+			return false
+		}
+		for _, a := range assign {
+			if a < 0 || a >= n {
+				return false
+			}
+		}
+		return len(envs) == 0 || n >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,357 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vmmodel"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Label           string
+	NormalizedPower float64 // vs the BFD baseline of the same traces
+	MaxViolationPct float64
+	MeanActive      float64
+}
+
+// AblationResult is a generic sweep outcome.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// String implements fmt.Stringer.
+func (r *AblationResult) String() string {
+	t := report.NewTable("config", "normalized power", "max violations (%)", "mean active")
+	for _, row := range r.Rows {
+		t.AddRow(row.Label,
+			fmt.Sprintf("%.3f", row.NormalizedPower),
+			fmt.Sprintf("%.1f", row.MaxViolationPct),
+			fmt.Sprintf("%.1f", row.MeanActive))
+	}
+	return r.Title + "\n" + t.String()
+}
+
+// ablate runs the proposed policy under a mutated configuration, normalized
+// against a shared BFD baseline.
+func (o Options) ablate(vms []*vmmodel.VM, bfd *sim.Result, label string,
+	mutate func(*sim.Config, *core.Allocator)) (AblationRow, error) {
+	m := core.NewCostMatrix(len(vms), 1)
+	alloc := &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
+	cfg := sim.Config{
+		Spec:          o.spec(),
+		Power:         o.model(),
+		Policy:        alloc,
+		Governor:      sim.CorrAware{Matrix: m},
+		MaxServers:    o.MaxServers,
+		PeriodSamples: o.PeriodSamples,
+		Pctl:          1,
+		Predictor:     predict.LastValue{},
+		Matrix:        m,
+	}
+	if mutate != nil {
+		mutate(&cfg, alloc)
+	}
+	res, err := sim.Run(vms, cfg)
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("exp: ablation %q: %w", label, err)
+	}
+	return AblationRow{
+		Label:           label,
+		NormalizedPower: res.NormalizedPower(bfd),
+		MaxViolationPct: res.MaxViolationPct,
+		MeanActive:      res.MeanActive,
+	}, nil
+}
+
+// AblationThreshold sweeps the initial correlation threshold THcost (A1).
+func AblationThreshold(o Options) (*AblationResult, error) {
+	vms := o.datacenterVMs()
+	bfd, err := o.runPolicy(vms, "bfd", 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation A1 — initial threshold THcost (alpha=0.9)"}
+	for _, th := range []float64{1.0, 1.1, 1.15, 1.25, 1.4} {
+		th := th
+		row, err := o.ablate(vms, bfd, fmt.Sprintf("THcost=%.2f", th),
+			func(cfg *sim.Config, a *core.Allocator) { a.THCost = th })
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationReference sweeps the reference percentile û (A2). The matrix and
+// the placement references move together, as in the paper's QoS knob.
+func AblationReference(o Options) (*AblationResult, error) {
+	vms := o.datacenterVMs()
+	bfd, err := o.runPolicy(vms, "bfd", 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation A2 — reference utilization percentile"}
+	for _, pctl := range []float64{1, 0.99, 0.95, 0.90} {
+		pctl := pctl
+		label := "peak"
+		if pctl < 1 {
+			label = fmt.Sprintf("p%.0f", pctl*100)
+		}
+		row, err := o.ablate(vms, bfd, label, func(cfg *sim.Config, a *core.Allocator) {
+			m := core.NewCostMatrix(len(vms), pctl)
+			cfg.Matrix = m
+			cfg.Pctl = pctl
+			a.Matrix = m
+			a.Pctl = pctl
+			cfg.Governor = sim.CorrAware{Matrix: m}
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationPredictor swaps the per-period workload predictor (A3).
+func AblationPredictor(o Options) (*AblationResult, error) {
+	vms := o.datacenterVMs()
+	bfd, err := o.runPolicy(vms, "bfd", 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation A3 — workload predictor"}
+	for _, p := range []predict.Predictor{
+		predict.LastValue{},
+		predict.MovingAverage{K: 3},
+		predict.EWMA{Alpha: 0.5},
+		predict.MaxOf{K: 3},
+	} {
+		p := p
+		row, err := o.ablate(vms, bfd, p.Name(),
+			func(cfg *sim.Config, a *core.Allocator) { cfg.Predictor = p })
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationMetric compares the Eqn-1 cost against windowed Pearson
+// correlation as the placement affinity (A4). Pearson is rescaled to the
+// cost range (corr -1..1 -> pseudo-cost 2..1) so the same allocator and
+// thresholds apply.
+func AblationMetric(o Options) (*AblationResult, error) {
+	vms := o.datacenterVMs()
+	bfd, err := o.runPolicy(vms, "bfd", 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation A4 — placement affinity metric"}
+
+	eqn1, err := o.ablate(vms, bfd, "eqn1-cost", nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, eqn1)
+
+	pearson, err := o.ablate(vms, bfd, "pearson", func(cfg *sim.Config, a *core.Allocator) {
+		// Recompute a Pearson matrix per placement from the request
+		// windows; the streaming matrix still drives Eqn 4 (the paper
+		// has no Pearson analogue for the frequency decision).
+		a.CostFn = nil
+		a.Matrix = nil
+		a.CostFn = pearsonAffinity(vms, o.PeriodSamples)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, pearson)
+	return out, nil
+}
+
+// pearsonAffinity builds a pseudo-cost from full-trace Pearson correlation.
+// It is deliberately window-less (the whole point of Eqn 1 is that Pearson
+// needs the full sample history).
+func pearsonAffinity(vms []*vmmodel.VM, period int) core.PairCostFunc {
+	cache := map[[2]int]float64{}
+	return func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		if i > j {
+			i, j = j, i
+		}
+		key := [2]int{i, j}
+		if c, ok := cache[key]; ok {
+			return c
+		}
+		corr := stats.PearsonOf(vms[i].Demand.Samples(), vms[j].Demand.Samples())
+		c := 1 + (1-corr)/2 // corr 1 -> 1.0; corr -1 -> 2.0
+		cache[key] = c
+		return c
+	}
+}
+
+// AblationMatrixWindow compares per-period matrix resets against cumulative
+// monitoring (A6 — the CumulativeMatrix switch in the simulator).
+func AblationMatrixWindow(o Options) (*AblationResult, error) {
+	vms := o.datacenterVMs()
+	bfd, err := o.runPolicy(vms, "bfd", 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{Title: "Ablation A6 — monitoring window"}
+	for _, cum := range []bool{false, true} {
+		cum := cum
+		label := "per-period reset"
+		if cum {
+			label = "cumulative"
+		}
+		row, err := o.ablate(vms, bfd, label,
+			func(cfg *sim.Config, a *core.Allocator) { cfg.CumulativeMatrix = cum })
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AblationCorrelationStructure runs the proposed policy on traces with no
+// shared group structure (A5's "nothing to exploit" control): its advantage
+// over BFD should shrink toward zero.
+func AblationCorrelationStructure(o Options) (*AblationResult, error) {
+	out := &AblationResult{Title: "Ablation A5 — correlation structure in the traces"}
+	for _, kind := range []string{"grouped", "uncorrelated"} {
+		dcfg := o.Datacenter
+		if kind == "uncorrelated" {
+			dcfg.Groups = dcfg.VMs
+		}
+		opt := o
+		opt.Datacenter = dcfg
+		vms := opt.datacenterVMs()
+		bfd, err := opt.runPolicy(vms, "bfd", 0)
+		if err != nil {
+			return nil, err
+		}
+		prop, err := opt.runPolicy(vms, "corr", 0)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:           kind,
+			NormalizedPower: prop.NormalizedPower(bfd),
+			MaxViolationPct: prop.MaxViolationPct,
+			MeanActive:      prop.MeanActive,
+		})
+		out.Rows = append(out.Rows, AblationRow{
+			Label:           kind + " (BFD ref)",
+			NormalizedPower: 1,
+			MaxViolationPct: bfd.MaxViolationPct,
+			MeanActive:      bfd.MeanActive,
+		})
+	}
+	return out, nil
+}
+
+// baselinePolicies exposes the raw policy list for the scale benchmarks.
+func BaselinePolicies() []place.Policy {
+	return []place.Policy{place.FFD{}, place.BFD{}, place.PCP{}}
+}
+
+// AblationLevels compares the two-level E5410 against a hypothetical
+// six-level part (A7): finer DVFS quantization lets Eqn 4 convert more of
+// the correlation headroom into power savings.
+func AblationLevels(o Options) (*AblationResult, error) {
+	vms := o.datacenterVMs()
+	out := &AblationResult{Title: "Ablation A7 — DVFS level granularity"}
+	for _, hw := range []struct {
+		label string
+		spec  server.Spec
+		model power.Model
+	}{
+		{"2 levels (E5410)", server.XeonE5410(), power.XeonE5410()},
+		{"6 levels", server.XeonFineGrained(), power.XeonFineGrained()},
+	} {
+		// BFD baseline and proposed on the same hardware.
+		mkCfg := func() sim.Config {
+			return sim.Config{
+				Spec:          hw.spec,
+				Power:         hw.model,
+				MaxServers:    o.MaxServers,
+				PeriodSamples: o.PeriodSamples,
+				Pctl:          1,
+				Predictor:     predict.LastValue{},
+			}
+		}
+		bfdCfg := mkCfg()
+		bfdCfg.Policy = place.BFD{}
+		bfdCfg.Governor = sim.WorstCase{}
+		bfd, err := sim.Run(vms, bfdCfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: A7 %s bfd: %w", hw.label, err)
+		}
+		m := core.NewCostMatrix(len(vms), 1)
+		propCfg := mkCfg()
+		propCfg.Matrix = m
+		propCfg.Policy = &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
+		propCfg.Governor = sim.CorrAware{Matrix: m}
+		prop, err := sim.Run(vms, propCfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: A7 %s prop: %w", hw.label, err)
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:           hw.label,
+			NormalizedPower: prop.NormalizedPower(bfd),
+			MaxViolationPct: prop.MaxViolationPct,
+			MeanActive:      prop.MeanActive,
+		})
+	}
+	return out, nil
+}
+
+// AblationOracle quantifies how much of the violation gap is prediction
+// error (A8): both BFD and the proposed policy with last-value prediction
+// versus a per-period oracle.
+func AblationOracle(o Options) (*AblationResult, error) {
+	vms := o.datacenterVMs()
+	out := &AblationResult{Title: "Ablation A8 — prediction error vs placement"}
+	bfdLV, err := o.runPolicy(vms, "bfd", 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []struct {
+		label  string
+		kind   string
+		oracle bool
+	}{
+		{"BFD last-value", "bfd", false},
+		{"BFD oracle", "bfd", true},
+		{"Proposed last-value", "corr", false},
+		{"Proposed oracle", "corr", true},
+	} {
+		res, err := o.runPolicyOracle(vms, c.kind, 0, c.oracle)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:           c.label,
+			NormalizedPower: res.NormalizedPower(bfdLV),
+			MaxViolationPct: res.MaxViolationPct,
+			MeanActive:      res.MeanActive,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+// Package exp contains one entry point per table and figure in the paper's
+// evaluation, plus the ablation studies from DESIGN.md. Each entry point
+// returns a typed result whose String() renders the artifact as text, so
+// the cmd/experiments binary and the top-level benchmarks can regenerate
+// everything deterministically.
+package exp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/vmmodel"
+	"repro/internal/websearch"
+)
+
+// Options scales the experiments: Full() reproduces the paper's setups;
+// Quick() shrinks horizons so unit tests stay fast while exercising the
+// same code paths.
+type Options struct {
+	// WebSearchDuration is the simulated seconds per Setup-1 run.
+	WebSearchDuration float64
+	// Datacenter is the Setup-2 trace generator configuration.
+	Datacenter synth.DatacenterConfig
+	// PeriodSamples is tperiod in samples.
+	PeriodSamples int
+	// MaxServers is the Setup-2 server pool size.
+	MaxServers int
+	// CacheKI are the warm-up/measure horizons of Table I in
+	// kilo-instructions.
+	CacheWarmKI, CacheMeasKI int
+	// Fig3Groups is the number of random VM groups sampled for Fig. 3.
+	Fig3Groups int
+}
+
+// Full reproduces the paper's published setups: 24 h of 40 VMs over 20
+// servers for Setup 2, 20-minute web-search runs for Setup 1.
+func Full() Options {
+	return Options{
+		WebSearchDuration: 1200,
+		Datacenter:        synth.DefaultDatacenterConfig(),
+		PeriodSamples:     720, // 1 h of 5-s samples
+		MaxServers:        20,
+		CacheWarmKI:       20000,
+		CacheMeasKI:       50000,
+		Fig3Groups:        400,
+	}
+}
+
+// Quick shrinks every horizon for fast tests.
+func Quick() Options {
+	o := Full()
+	o.WebSearchDuration = 240
+	o.Datacenter.Day = 6 * time.Hour
+	o.Datacenter.VMs = 16
+	o.Datacenter.Groups = 4
+	o.CacheWarmKI = 2000
+	o.CacheMeasKI = 5000
+	o.Fig3Groups = 60
+	return o
+}
+
+// spec and model pin the Setup-2 hardware.
+func (o Options) spec() server.Spec   { return server.XeonE5410() }
+func (o Options) model() power.Model  { return power.XeonE5410() }
+func (o Options) wsSpec() server.Spec { return server.OpteronR815() }
+
+// datacenterVMs generates the Setup-2 traces once per call site.
+func (o Options) datacenterVMs() []*vmmodel.VM {
+	ds := synth.Datacenter(o.Datacenter)
+	return vmmodel.FromSeries(ds.Names, ds.Fine)
+}
+
+// runPolicy executes one Setup-2 simulation. kind selects the policy:
+// "bfd", "pcp", or "corr"; rescaleEvery > 0 enables dynamic v/f scaling.
+func (o Options) runPolicy(vms []*vmmodel.VM, kind string, rescaleEvery int) (*sim.Result, error) {
+	return o.runPolicyOracle(vms, kind, rescaleEvery, false)
+}
+
+// runPolicyOracle is runPolicy with optional perfect per-period prediction.
+func (o Options) runPolicyOracle(vms []*vmmodel.VM, kind string, rescaleEvery int, oracle bool) (*sim.Result, error) {
+	cfg := sim.Config{
+		Spec:          o.spec(),
+		Power:         o.model(),
+		MaxServers:    o.MaxServers,
+		PeriodSamples: o.PeriodSamples,
+		RescaleEvery:  rescaleEvery,
+		Pctl:          1,
+		Predictor:     predict.LastValue{},
+		Oracle:        oracle,
+	}
+	switch kind {
+	case "bfd":
+		cfg.Policy = place.BFD{}
+		cfg.Governor = sim.WorstCase{}
+	case "pcp":
+		cfg.Policy = place.PCP{}
+		cfg.Governor = sim.WorstCase{}
+	case "corr":
+		m := core.NewCostMatrix(len(vms), 1)
+		cfg.Matrix = m
+		cfg.Policy = &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
+		cfg.Governor = sim.CorrAware{Matrix: m}
+	default:
+		panic("exp: unknown policy kind " + kind)
+	}
+	return sim.Run(vms, cfg)
+}
+
+// wsConfig returns the Setup-1 configuration at the chosen horizon.
+func (o Options) wsConfig() websearch.Config {
+	cfg := websearch.DefaultConfig()
+	cfg.Duration = o.WebSearchDuration
+	return cfg
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// ExtendedRow is one policy of the extended comparison.
+type ExtendedRow struct {
+	Policy          string
+	NormalizedPower float64
+	MaxViolationPct float64
+	MeanActive      float64
+	Migrations      int
+}
+
+// ExtendedResult widens Table II beyond the paper: it adds the FFD
+// heuristic and the Joint-VM sizing baseline of Meng et al. (ICAC 2010,
+// discussed in the paper's related work), and reports placement churn
+// (VM migrations across period boundaries), a cost the paper does not
+// quantify.
+type ExtendedResult struct {
+	Dynamic bool
+	Rows    []ExtendedRow
+}
+
+// TableIIExtended runs five policies on the Setup-2 traces.
+func TableIIExtended(o Options, dynamic bool) (*ExtendedResult, error) {
+	vms := o.datacenterVMs()
+	rescale := 0
+	if dynamic {
+		rescale = 12
+	}
+
+	base := sim.Config{
+		Spec:          o.spec(),
+		Power:         o.model(),
+		MaxServers:    o.MaxServers,
+		PeriodSamples: o.PeriodSamples,
+		RescaleEvery:  rescale,
+		Pctl:          1,
+		Predictor:     predict.LastValue{},
+	}
+	type entry struct {
+		name   string
+		mutate func(*sim.Config)
+	}
+	entries := []entry{
+		{"BFD", func(c *sim.Config) { c.Policy = place.BFD{}; c.Governor = sim.WorstCase{} }},
+		{"FFD", func(c *sim.Config) { c.Policy = place.FFD{}; c.Governor = sim.WorstCase{} }},
+		{"PCP", func(c *sim.Config) { c.Policy = place.PCP{}; c.Governor = sim.WorstCase{} }},
+		{"JointVM", func(c *sim.Config) { c.Policy = place.JointVM{}; c.Governor = sim.WorstCase{} }},
+		{"Proposed", func(c *sim.Config) {
+			m := core.NewCostMatrix(len(vms), 1)
+			c.Matrix = m
+			c.Policy = &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
+			c.Governor = sim.CorrAware{Matrix: m}
+		}},
+	}
+	out := &ExtendedResult{Dynamic: dynamic}
+	var baseline *sim.Result
+	for _, e := range entries {
+		cfg := base
+		e.mutate(&cfg)
+		res, err := sim.Run(vms, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: extended %s: %w", e.name, err)
+		}
+		if baseline == nil {
+			baseline = res
+		}
+		out.Rows = append(out.Rows, ExtendedRow{
+			Policy:          e.name,
+			NormalizedPower: res.NormalizedPower(baseline),
+			MaxViolationPct: res.MaxViolationPct,
+			MeanActive:      res.MeanActive,
+			Migrations:      res.TotalMigrations,
+		})
+	}
+	return out, nil
+}
+
+// String implements fmt.Stringer.
+func (r *ExtendedResult) String() string {
+	mode := "static"
+	if r.Dynamic {
+		mode = "dynamic"
+	}
+	t := report.NewTable("policy", "normalized power", "max violations (%)", "mean active", "migrations")
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy,
+			fmt.Sprintf("%.3f", row.NormalizedPower),
+			fmt.Sprintf("%.1f", row.MaxViolationPct),
+			fmt.Sprintf("%.1f", row.MeanActive),
+			fmt.Sprint(row.Migrations))
+	}
+	return fmt.Sprintf("Extended comparison (%s v/f scaling; beyond the paper)\n", mode) + t.String()
+}

@@ -1,0 +1,161 @@
+package place
+
+import (
+	"repro/internal/envelope"
+	"repro/internal/server"
+)
+
+// PCP is the Peak Clustering-based Placement of Verma et al. (USENIX ATC
+// 2009) as described in the paper's related work and Section V-B:
+//
+//  1. Each VM's envelope (utilization above its own off-peak percentile)
+//     is extracted over the monitoring window.
+//  2. VMs are clustered so that envelopes in different clusters do not
+//     overlap (Jaccard overlap below MaxOverlap).
+//  3. VMs are provisioned by their off-peak demand and servers co-locate
+//     VMs from different clusters, reserving a shared peak buffer sized to
+//     the worst per-cluster sum of peak excesses among the co-located VMs
+//     (same-cluster VMs peak together, so their excesses add; clusters do
+//     not overlap, so only the worst cluster needs the buffer).
+//
+// When clustering collapses to a single cluster — which is what happens
+// with fast-changing, strongly synchronized scale-out workloads — PCP
+// degenerates to plain BFD on peak demand, reproducing the observation in
+// the paper's Setup 2 (22 of 24 periods formed one cluster).
+type PCP struct {
+	// EnvelopePctl is the off-peak percentile defining envelopes and
+	// provisioning (default 0.9).
+	EnvelopePctl float64
+	// MaxOverlap is the Jaccard overlap above which two envelopes belong
+	// to the same cluster (default 0.03: Verma et al. require envelopes
+	// of different clusters to be essentially disjoint, so even a small
+	// overlap merges).
+	MaxOverlap float64
+}
+
+// Name implements Policy.
+func (PCP) Name() string { return "PCP" }
+
+func (p PCP) envelopePctl() float64 {
+	if p.EnvelopePctl <= 0 || p.EnvelopePctl >= 1 {
+		return 0.9
+	}
+	return p.EnvelopePctl
+}
+
+func (p PCP) maxOverlap() float64 {
+	if p.MaxOverlap <= 0 {
+		return 0.03
+	}
+	return p.MaxOverlap
+}
+
+// Place implements Policy.
+func (p PCP) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, error) {
+	if maxServers < 1 {
+		return nil, ErrNoServers
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	envs := make([][]bool, len(reqs))
+	for i, r := range reqs {
+		if r.Window != nil && r.Window.Len() > 0 {
+			envs[i] = envelope.ExtractOffPeak(r.Window, p.envelopePctl())
+		} else {
+			envs[i] = nil // indistinguishable; lands in the first cluster
+		}
+	}
+	clusterOf, clusters := envelope.Cluster(envs, p.maxOverlap())
+
+	// Degenerate case: one cluster means "every VM peaks with every other
+	// VM"; the scheme has no signal and behaves exactly like BFD.
+	if clusters <= 1 {
+		return BFD{}.Place(reqs, spec, maxServers)
+	}
+
+	cap := spec.Capacity()
+	assign := make([]int, len(reqs))
+	type srv struct {
+		offPeakSum float64 // sum of co-located off-peak demands
+		// excess accumulates (peak - offPeak) per cluster: VMs of one
+		// cluster peak together, so their excesses add; clusters do
+		// not overlap, so the shared buffer only needs to cover the
+		// worst cluster.
+		excess   map[int]float64
+		clusters map[int]bool
+	}
+	var open []*srv
+
+	buffer := func(s *srv, r Request, c int) float64 {
+		buf := 0.0
+		for cl, e := range s.excess {
+			if cl == c {
+				e += r.Ref - r.OffPeak
+			}
+			if e > buf {
+				buf = e
+			}
+		}
+		if e := r.Ref - r.OffPeak; s.excess[c] == 0 && e > buf {
+			buf = e
+		}
+		return buf
+	}
+	fits := func(s *srv, r Request, c int) bool {
+		return s.offPeakSum+r.OffPeak+buffer(s, r, c) <= cap
+	}
+	add := func(s *srv, r Request, c int) {
+		s.offPeakSum += r.OffPeak
+		s.excess[c] += r.Ref - r.OffPeak
+		s.clusters[c] = true
+	}
+
+	for _, i := range byRefDesc(reqs) {
+		r := reqs[i]
+		c := clusterOf[i]
+		// Prefer the best-fitting server that has no VM from the same
+		// cluster; fall back to the best-fitting server overall; then
+		// to opening a server; then to overcommitting.
+		best, bestAny := -1, -1
+		for s, st := range open {
+			if !fits(st, r, c) {
+				continue
+			}
+			if bestAny == -1 || st.offPeakSum > open[bestAny].offPeakSum {
+				bestAny = s
+			}
+			if !st.clusters[c] && (best == -1 || st.offPeakSum > open[best].offPeakSum) {
+				best = s
+			}
+		}
+		if best == -1 {
+			best = bestAny
+		}
+		switch {
+		case best >= 0:
+			add(open[best], r, c)
+			assign[i] = best
+		case len(open) < maxServers:
+			st := &srv{excess: map[int]float64{}, clusters: map[int]bool{}}
+			add(st, r, c)
+			open = append(open, st)
+			assign[i] = len(open) - 1
+		default:
+			// Overcommit the least-loaded server.
+			least := 0
+			for s := range open {
+				if open[s].offPeakSum < open[least].offPeakSum {
+					least = s
+				}
+			}
+			add(open[least], r, c)
+			assign[i] = least
+		}
+	}
+	if len(open) == 0 {
+		open = append(open, &srv{excess: map[int]float64{}, clusters: map[int]bool{}})
+	}
+	return &Placement{NumServers: len(open), Assign: assign}, nil
+}

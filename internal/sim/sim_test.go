@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/server"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/vmmodel"
+)
+
+// flatVMs builds n VMs with constant demand level over samples samples.
+func flatVMs(n int, level float64, samples int) []*vmmodel.VM {
+	vms := make([]*vmmodel.VM, n)
+	for i := range vms {
+		data := make([]float64, samples)
+		for k := range data {
+			data[k] = level
+		}
+		vms[i] = vmmodel.New(string(rune('a'+i)), trace.NewFromSamples(5*time.Second, data))
+	}
+	return vms
+}
+
+func baseConfig() Config {
+	return Config{
+		Spec:          server.XeonE5410(),
+		Power:         power.XeonE5410(),
+		Policy:        place.BFD{},
+		Governor:      WorstCase{},
+		MaxServers:    20,
+		PeriodSamples: 100,
+		Pctl:          1,
+		Predictor:     predict.LastValue{},
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	vms := flatVMs(2, 1, 200)
+	cases := []func(*Config){
+		func(c *Config) { c.Policy = nil },
+		func(c *Config) { c.Governor = nil },
+		func(c *Config) { c.MaxServers = 0 },
+		func(c *Config) { c.PeriodSamples = 0 },
+		func(c *Config) { c.RescaleEvery = -1 },
+		func(c *Config) { c.Predictor = nil },
+		func(c *Config) { c.Spec = server.Spec{} },
+		func(c *Config) { c.Power = power.Model{} },
+		func(c *Config) { c.Matrix = core.NewCostMatrix(7, 1) },
+		func(c *Config) { c.Spec = server.Spec{Name: "odd", Cores: 8, Freqs: []float64{1.0}} },
+	}
+	for i, mutate := range cases {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := Run(vms, cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+	if _, err := Run(nil, baseConfig()); err == nil {
+		t.Error("no VMs should error")
+	}
+	short := flatVMs(2, 1, 10)
+	if _, err := Run(short, baseConfig()); err == nil {
+		t.Error("horizon shorter than a period should error")
+	}
+}
+
+func TestRunFlatWorkloadNoViolations(t *testing.T) {
+	// Four VMs of 1.5 cores: fits easily, no violations, stable servers.
+	vms := flatVMs(4, 1.5, 300)
+	cfg := baseConfig()
+	res, err := Run(vms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxViolationPct != 0 {
+		t.Fatalf("flat workload produced violations: %v%%", res.MaxViolationPct)
+	}
+	if res.MeanActive != 1 {
+		t.Fatalf("6 cores of demand should fit one server, got %v active", res.MeanActive)
+	}
+	if res.EnergyJ <= 0 || res.MeanPowerW <= 0 {
+		t.Fatalf("energy accounting broken: E=%v P=%v", res.EnergyJ, res.MeanPowerW)
+	}
+	if len(res.Periods) != 3 {
+		t.Fatalf("periods = %d, want 3", len(res.Periods))
+	}
+}
+
+func TestRunOverloadProducesViolations(t *testing.T) {
+	// One server, demand pinned above capacity: every sample violates.
+	vms := flatVMs(3, 4, 200) // 12 cores of demand
+	cfg := baseConfig()
+	cfg.MaxServers = 1
+	res, err := Run(vms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MaxViolationPct-100) > 1e-9 {
+		t.Fatalf("violations = %v%%, want 100%%", res.MaxViolationPct)
+	}
+}
+
+func TestWorstCaseGovernorPicksCoveringLevel(t *testing.T) {
+	spec := server.XeonE5410()
+	g := WorstCase{}
+	p := &place.Placement{NumServers: 1, Assign: []int{0, 0}}
+	// 5 cores of predicted peaks: 2.0 GHz gives 6.96 cores, enough.
+	fs := g.PlanStatic(p, []float64{2.5, 2.5}, spec)
+	if fs[0] != 2.0 {
+		t.Fatalf("level = %v, want 2.0", fs[0])
+	}
+	// 7.5 cores needs 2.3.
+	fs = g.PlanStatic(p, []float64{4, 3.5}, spec)
+	if fs[0] != 2.3 {
+		t.Fatalf("level = %v, want 2.3", fs[0])
+	}
+	if f := g.Rescale([]int{0, 1}, []float64{1, 1}, 2, spec); f != 2.0 {
+		t.Fatalf("rescale level = %v, want 2.0", f)
+	}
+}
+
+func TestCorrAwareGovernorDiscountsFrequency(t *testing.T) {
+	spec := server.XeonE5410()
+	m := core.NewCostMatrix(2, 1)
+	// Anti-phased feeding: pair cost ≈ (4+4)/4.6 > 1.5.
+	for k := 0; k < 200; k++ {
+		if k%2 == 0 {
+			m.Add([]float64{4, 0.6})
+		} else {
+			m.Add([]float64{0.6, 4})
+		}
+	}
+	g := CorrAware{Matrix: m}
+	p := &place.Placement{NumServers: 1, Assign: []int{0, 0}}
+	fs := g.PlanStatic(p, []float64{4, 4}, spec)
+	if fs[0] != 2.0 {
+		t.Fatalf("anti-correlated full server should run at 2.0, got %v", fs[0])
+	}
+	wc := WorstCase{}.PlanStatic(p, []float64{4, 4}, spec)
+	if wc[0] != 2.3 {
+		t.Fatalf("worst case should be 2.3, got %v", wc[0])
+	}
+}
+
+func TestDynamicRescalingTracksLoad(t *testing.T) {
+	// Demand alternates between low (first half of each period) and high:
+	// with dynamic scaling the server should spend time at both levels.
+	samples := 400
+	data := make([]float64, samples)
+	for k := range data {
+		if (k/50)%2 == 0 {
+			data[k] = 2
+		} else {
+			data[k] = 7.5
+		}
+	}
+	vms := []*vmmodel.VM{vmmodel.New("vm", trace.NewFromSamples(5*time.Second, data))}
+	cfg := baseConfig()
+	cfg.PeriodSamples = 200
+	cfg.RescaleEvery = 10
+	res, err := Run(vms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.FreqResidency[0][0], res.FreqResidency[0][1]
+	if lo == 0 || hi == 0 {
+		t.Fatalf("dynamic scaling should visit both levels: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestFreqResidencyAccounting(t *testing.T) {
+	vms := flatVMs(2, 1, 200)
+	res, err := Run(vms, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, perLevel := range res.FreqResidency {
+		for _, c := range perLevel {
+			total += c
+		}
+	}
+	// One active server for 200 samples.
+	if total != 200 {
+		t.Fatalf("freq residency total = %d, want 200", total)
+	}
+}
+
+func TestNormalizedPower(t *testing.T) {
+	vms := flatVMs(2, 1, 200)
+	a, err := Run(vms, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NormalizedPower(a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self-normalized power = %v, want 1", got)
+	}
+	zero := &Result{}
+	if got := a.NormalizedPower(zero); got != 0 {
+		t.Fatalf("normalization against zero baseline = %v, want 0", got)
+	}
+}
+
+func TestEndToEndPoliciesOnSyntheticTraces(t *testing.T) {
+	// Smoke test of all three policies on a small synthetic dataset,
+	// checking the paper's headline ordering on violations: the proposed
+	// policy must not violate more than BFD.
+	cfg := synth.DefaultDatacenterConfig()
+	cfg.VMs = 16
+	cfg.Groups = 4
+	cfg.Day = 6 * time.Hour
+	ds := synth.Datacenter(cfg)
+	vms := vmmodel.FromSeries(ds.Names, ds.Fine)
+
+	run := func(policy place.Policy, gov Governor, matrix *core.CostMatrix) *Result {
+		c := baseConfig()
+		c.Policy = policy
+		c.Governor = gov
+		c.MaxServers = 10
+		c.PeriodSamples = 720
+		c.Matrix = matrix
+		res, err := Run(vms, c)
+		if err != nil {
+			t.Fatalf("%s: %v", policy.Name(), err)
+		}
+		return res
+	}
+
+	bfd := run(place.BFD{}, WorstCase{}, nil)
+	m := core.NewCostMatrix(len(vms), 1)
+	prop := run(&core.Allocator{Config: core.DefaultConfig(), Matrix: m}, CorrAware{Matrix: m}, m)
+
+	// Violations on this small scenario are near zero for both policies;
+	// allow a one-sample-scale tolerance (0.5pp of a 720-sample period).
+	if prop.MaxViolationPct > bfd.MaxViolationPct+0.5 {
+		t.Fatalf("proposed violations %v%% exceed BFD %v%%",
+			prop.MaxViolationPct, bfd.MaxViolationPct)
+	}
+	if prop.EnergyJ > bfd.EnergyJ*1.02 {
+		t.Fatalf("proposed energy %v noticeably exceeds BFD %v", prop.EnergyJ, bfd.EnergyJ)
+	}
+}

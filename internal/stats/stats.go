@@ -1,0 +1,235 @@
+// Package stats provides the streaming statistics the consolidation stack
+// relies on: running moments (Welford), streaming Pearson correlation, the
+// P² on-line quantile estimator, histograms, and small fitting helpers.
+//
+// Everything here is updatable one sample at a time in O(1) memory, which is
+// the property the paper exploits when it argues its correlation cost is
+// cheaper to maintain than windowed Pearson correlation.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance using Welford's algorithm.
+// The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (0 before any observation).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance.
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Pearson accumulates the Pearson product-moment correlation of a stream of
+// (x, y) pairs in O(1) space. The zero value is ready to use.
+//
+// This is the metric the paper compares its Eqn-1 cost against: exact
+// correlation over the whole interval, as opposed to behaviour at the peaks.
+type Pearson struct {
+	n          int
+	meanX, mX2 float64
+	meanY, mY2 float64
+	cov        float64
+}
+
+// Add incorporates one (x, y) observation.
+func (p *Pearson) Add(x, y float64) {
+	p.n++
+	n := float64(p.n)
+	dx := x - p.meanX
+	p.meanX += dx / n
+	p.mX2 += dx * (x - p.meanX)
+	dy := y - p.meanY
+	p.meanY += dy / n
+	p.mY2 += dy * (y - p.meanY)
+	// Co-moment uses the updated meanY and pre-update dx, the standard
+	// one-pass covariance recurrence.
+	p.cov += dx * (y - p.meanY)
+}
+
+// N returns the number of pairs seen.
+func (p *Pearson) N() int { return p.n }
+
+// Corr returns the correlation coefficient in [-1, 1]. When either variable
+// is constant the correlation is undefined; Corr returns 0 in that case.
+func (p *Pearson) Corr() float64 {
+	if p.n < 2 {
+		return 0
+	}
+	den := math.Sqrt(p.mX2 * p.mY2)
+	if den == 0 {
+		return 0
+	}
+	c := p.cov / den
+	// Guard against floating-point excursions outside [-1, 1].
+	return math.Max(-1, math.Min(1, c))
+}
+
+// Covariance returns the population covariance of the stream.
+func (p *Pearson) Covariance() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return p.cov / float64(p.n)
+}
+
+// PearsonOf computes the Pearson correlation of two equal-length slices.
+func PearsonOf(xs, ys []float64) float64 {
+	var p Pearson
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		p.Add(xs[i], ys[i])
+	}
+	return p.Corr()
+}
+
+// Histogram counts observations into equal-width bins over [lo, hi].
+// Observations outside the range are clamped into the first or last bin, so
+// every Add is counted; this matches how frequency-residency histograms are
+// reported in the paper's Fig 6.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram returns a histogram with the given bin count over [lo, hi].
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: non-positive bin count")
+	}
+	if hi <= lo {
+		panic("stats: empty histogram range")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.counts)) * (x - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of observations in bin i (0 when empty).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.counts))
+	return h.lo + (float64(i)+0.5)*w
+}
+
+// Linear is a least-squares straight-line fit y = A + B·x.
+type Linear struct {
+	A, B float64
+	R2   float64
+}
+
+// FitLinear fits a line through the given points. At least two points with
+// non-zero x variance are required; otherwise a degenerate flat fit through
+// the mean is returned.
+func FitLinear(xs, ys []float64) Linear {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n == 0 {
+		return Linear{}
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{A: my}
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return Linear{A: a, B: b, R2: r2}
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of xs by sorting a copy.
+// It is the exact counterpart used to validate the streaming P² estimator.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

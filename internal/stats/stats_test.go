@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(v)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d, want 8", r.N())
+	}
+	if !approx(r.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", r.Mean())
+	}
+	if !approx(r.Variance(), 4, 1e-12) {
+		t.Fatalf("variance = %v, want 4", r.Variance())
+	}
+	if !approx(r.StdDev(), 2, 1e-12) {
+		t.Fatalf("stddev = %v, want 2", r.StdDev())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 {
+		t.Fatal("empty Running should report zeros")
+	}
+}
+
+func TestRunningMatchesTwoPass(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Running
+		sum := 0.0
+		for _, v := range raw {
+			r.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		varSum := 0.0
+		for _, v := range raw {
+			d := float64(v) - mean
+			varSum += d * d
+		}
+		return approx(r.Mean(), mean, 1e-9) && approx(r.Variance(), varSum/float64(len(raw)), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	var p Pearson
+	for i := 0; i < 100; i++ {
+		p.Add(float64(i), 3*float64(i)+7)
+	}
+	if !approx(p.Corr(), 1, 1e-9) {
+		t.Fatalf("corr = %v, want 1", p.Corr())
+	}
+	var q Pearson
+	for i := 0; i < 100; i++ {
+		q.Add(float64(i), -2*float64(i))
+	}
+	if !approx(q.Corr(), -1, 1e-9) {
+		t.Fatalf("corr = %v, want -1", q.Corr())
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	var p Pearson
+	for i := 0; i < 10; i++ {
+		p.Add(5, float64(i))
+	}
+	if p.Corr() != 0 {
+		t.Fatalf("corr with constant x = %v, want 0", p.Corr())
+	}
+	var empty Pearson
+	if empty.Corr() != 0 {
+		t.Fatal("empty Pearson should be 0")
+	}
+}
+
+func TestPearsonIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var p Pearson
+	for i := 0; i < 200000; i++ {
+		p.Add(rng.Float64(), rng.Float64())
+	}
+	if math.Abs(p.Corr()) > 0.02 {
+		t.Fatalf("independent streams corr = %v, want ~0", p.Corr())
+	}
+}
+
+func TestPearsonMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = 0.6*xs[i] + 0.4*rng.NormFloat64()
+	}
+	// Batch two-pass reference.
+	mx, my := 0.0, 0.0
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(len(xs))
+	my /= float64(len(ys))
+	var sxy, sxx, syy float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+		syy += (ys[i] - my) * (ys[i] - my)
+	}
+	want := sxy / math.Sqrt(sxx*syy)
+	if got := PearsonOf(xs, ys); !approx(got, want, 1e-9) {
+		t.Fatalf("streaming corr = %v, batch = %v", got, want)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(pairs [][2]int8) bool {
+		var p Pearson
+		for _, pr := range pairs {
+			p.Add(float64(pr[0]), float64(pr[1]))
+		}
+		c := p.Corr()
+		return c >= -1 && c <= 1 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 9.9, -4, 15} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	if h.Count(0) != 3 { // 0.5, 1, and clamped -4
+		t.Fatalf("bin 0 count = %d, want 3", h.Count(0))
+	}
+	if h.Count(4) != 2 { // 9.9 and clamped 15
+		t.Fatalf("bin 4 count = %d, want 2", h.Count(4))
+	}
+	if !approx(h.Fraction(1), 1.0/6, 1e-12) {
+		t.Fatalf("fraction bin1 = %v", h.Fraction(1))
+	}
+	if !approx(h.BinCenter(0), 1, 1e-12) {
+		t.Fatalf("bin center = %v, want 1", h.BinCenter(0))
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	f := func(raw []int8) bool {
+		h := NewHistogram(-128, 128, 8)
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		if len(raw) == 0 {
+			return h.Fraction(0) == 0
+		}
+		sum := 0.0
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Fraction(i)
+		}
+		return approx(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFitLinear(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	fit := FitLinear(xs, ys)
+	if !approx(fit.A, 1, 1e-9) || !approx(fit.B, 2, 1e-9) || !approx(fit.R2, 1, 1e-9) {
+		t.Fatalf("fit = %+v, want A=1 B=2 R2=1", fit)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	fit := FitLinear([]float64{2, 2, 2}, []float64{1, 5, 9})
+	if fit.B != 0 || !approx(fit.A, 5, 1e-9) {
+		t.Fatalf("degenerate fit = %+v, want flat through mean", fit)
+	}
+	if got := FitLinear(nil, nil); got != (Linear{}) {
+		t.Fatalf("empty fit = %+v", got)
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 0}
+	if got := Quantile(xs, 0); got != 0 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); !approx(got, 4.5, 1e-12) {
+		t.Fatalf("median = %v, want 4.5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}

@@ -1,0 +1,226 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestLogNormalMeanPreserved(t *testing.T) {
+	ln := NewLogNormal(0.5, 1)
+	var r stats.Running
+	for i := 0; i < 200000; i++ {
+		r.Add(ln.Sample(4))
+	}
+	if math.Abs(r.Mean()-4) > 0.05 {
+		t.Fatalf("lognormal mean = %v, want ~4", r.Mean())
+	}
+}
+
+func TestLogNormalEdgeCases(t *testing.T) {
+	ln := NewLogNormal(0.5, 1)
+	if ln.Sample(0) != 0 || ln.Sample(-3) != 0 {
+		t.Fatal("non-positive mean should yield 0")
+	}
+	det := NewLogNormal(0, 1)
+	if det.Sample(7) != 7 {
+		t.Fatal("sigma=0 should be deterministic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative sigma should panic")
+		}
+	}()
+	NewLogNormal(-1, 1)
+}
+
+func TestLogNormalPositivity(t *testing.T) {
+	f := func(meanRaw uint8, seed int64) bool {
+		mean := float64(meanRaw)/16 + 0.01
+		ln := NewLogNormal(0.4, seed)
+		for i := 0; i < 50; i++ {
+			if ln.Sample(mean) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineShapeAndMean(t *testing.T) {
+	coarse := trace.NewFromSamples(5*time.Minute, []float64{1, 2, 3, 4})
+	ln := NewLogNormal(0.3, 5)
+	fine := ln.Refine(coarse, 60)
+	if fine.Len() != 240 {
+		t.Fatalf("fine len = %d, want 240", fine.Len())
+	}
+	if fine.Interval() != 5*time.Second {
+		t.Fatalf("fine interval = %v, want 5s", fine.Interval())
+	}
+	// Each coarse bucket's fine mean should be near the coarse value.
+	for i := 0; i < coarse.Len(); i++ {
+		m := fine.Slice(i*60, (i+1)*60).Mean()
+		if math.Abs(m-coarse.At(i))/coarse.At(i) > 0.25 {
+			t.Fatalf("bucket %d refined mean %v too far from %v", i, m, coarse.At(i))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factor<=0 should panic")
+		}
+	}()
+	ln.Refine(coarse, 0)
+}
+
+func TestWave(t *testing.T) {
+	w := SineClients(time.Hour)
+	if got := w.At(0); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("sine at 0 = %v, want midpoint 150", got)
+	}
+	if got := w.At(15 * time.Minute); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("sine at quarter period = %v, want 300", got)
+	}
+	c := CosineClients(time.Hour)
+	if got := c.At(0); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("cosine at 0 = %v, want 300", got)
+	}
+	if got := c.At(30 * time.Minute); math.Abs(got-0) > 1e-9 {
+		t.Fatalf("cosine at half period = %v, want 0", got)
+	}
+}
+
+func TestWaveSeries(t *testing.T) {
+	w := SineClients(time.Hour)
+	s := w.Series(time.Minute, 60)
+	if s.Len() != 60 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Min() < -1e-9 || s.Max() > 300+1e-9 {
+		t.Fatalf("wave out of range: [%v, %v]", s.Min(), s.Max())
+	}
+}
+
+func TestWaveBounds(t *testing.T) {
+	f := func(minRaw, maxRaw uint8, phaseRaw uint8, tRaw uint16) bool {
+		lo := float64(minRaw)
+		hi := lo + float64(maxRaw) + 1
+		w := Wave{Min: lo, Max: hi, Period: time.Hour, Phase: float64(phaseRaw)}
+		v := w.At(time.Duration(tRaw) * time.Second)
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatacenterShape(t *testing.T) {
+	cfg := DefaultDatacenterConfig()
+	ds := Datacenter(cfg)
+	if len(ds.Fine) != 40 || len(ds.Names) != 40 || len(ds.Group) != 40 {
+		t.Fatalf("want 40 VMs, got %d/%d/%d", len(ds.Fine), len(ds.Names), len(ds.Group))
+	}
+	wantCoarse := int(24 * time.Hour / (5 * time.Minute))
+	wantFine := wantCoarse * 60
+	for i, s := range ds.Fine {
+		if s.Len() != wantFine {
+			t.Fatalf("vm %d fine len = %d, want %d", i, s.Len(), wantFine)
+		}
+		if s.Interval() != 5*time.Second {
+			t.Fatalf("vm %d interval = %v", i, s.Interval())
+		}
+		if s.Min() < 0 {
+			t.Fatalf("vm %d has negative demand", i)
+		}
+		if ds.Coarse[i].Len() != wantCoarse {
+			t.Fatalf("vm %d coarse len = %d, want %d", i, ds.Coarse[i].Len(), wantCoarse)
+		}
+	}
+}
+
+func TestDatacenterDeterministic(t *testing.T) {
+	a := Datacenter(DefaultDatacenterConfig())
+	b := Datacenter(DefaultDatacenterConfig())
+	for i := range a.Fine {
+		for j := 0; j < a.Fine[i].Len(); j += 997 {
+			if a.Fine[i].At(j) != b.Fine[i].At(j) {
+				t.Fatalf("same seed produced different traces at vm %d sample %d", i, j)
+			}
+		}
+	}
+	cfg := DefaultDatacenterConfig()
+	cfg.Seed = 2
+	c := Datacenter(cfg)
+	same := true
+	for j := 0; j < a.Fine[0].Len() && same; j++ {
+		same = a.Fine[0].At(j) == c.Fine[0].At(j)
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestDatacenterIntraGroupCorrelation(t *testing.T) {
+	// The generator's whole purpose: VMs within a group must be strongly
+	// correlated at coarse granularity, and clearly more correlated than
+	// across groups on average.
+	ds := Datacenter(DefaultDatacenterConfig())
+	var intra, inter stats.Running
+	for i := 0; i < len(ds.Coarse); i++ {
+		for j := i + 1; j < len(ds.Coarse); j++ {
+			c := stats.PearsonOf(ds.Coarse[i].Samples(), ds.Coarse[j].Samples())
+			if ds.Group[i] == ds.Group[j] {
+				intra.Add(c)
+			} else {
+				inter.Add(c)
+			}
+		}
+	}
+	if intra.Mean() < 0.8 {
+		t.Fatalf("mean intra-group correlation = %v, want > 0.8", intra.Mean())
+	}
+	if intra.Mean()-inter.Mean() < 0.3 {
+		t.Fatalf("intra (%v) should clearly exceed inter (%v)", intra.Mean(), inter.Mean())
+	}
+}
+
+func TestUncorrelated(t *testing.T) {
+	cfg := DefaultDatacenterConfig()
+	cfg.VMs = 12
+	ds := Uncorrelated(cfg)
+	var inter stats.Running
+	for i := 0; i < len(ds.Coarse); i++ {
+		for j := i + 1; j < len(ds.Coarse); j++ {
+			inter.Add(stats.PearsonOf(ds.Coarse[i].Samples(), ds.Coarse[j].Samples()))
+		}
+	}
+	if inter.Mean() > 0.5 {
+		t.Fatalf("uncorrelated dataset mean pairwise correlation = %v, want low", inter.Mean())
+	}
+}
+
+func TestDatacenterPanics(t *testing.T) {
+	for _, mutate := range []func(*DatacenterConfig){
+		func(c *DatacenterConfig) { c.VMs = 0 },
+		func(c *DatacenterConfig) { c.Groups = 0 },
+		func(c *DatacenterConfig) { c.FineFactor = 0 },
+		func(c *DatacenterConfig) { c.Day = time.Minute },
+	} {
+		cfg := DefaultDatacenterConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			Datacenter(cfg)
+		}()
+	}
+}

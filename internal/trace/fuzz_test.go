@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the CSV reader and that
+// everything it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("t,vm1\n0.0,1.0\n5.0,2.0\n"))
+	f.Add([]byte("t,a,b\n0,1,2\n1,3,4\n2,5,6\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("t,x\n0,nan\n1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		names, series, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(names) != len(series) {
+			t.Fatalf("%d names for %d series", len(names), len(series))
+		}
+		if series[0].Interval() < time.Millisecond {
+			// WriteCSV emits millisecond-precision timestamps; finer
+			// intervals cannot round-trip and are out of contract.
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, names, series); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		names2, series2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded output rejected: %v", err)
+		}
+		if len(names2) != len(names) || len(series2) != len(series) {
+			t.Fatal("round-trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV writes a set of named series sharing interval and length as CSV:
+// a header row "t,<name>,<name>,..." followed by one row per sample with the
+// elapsed time in seconds in the first column.
+func WriteCSV(w io.Writer, names []string, series []*Series) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("trace: %d names for %d series", len(names), len(series))
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("trace: no series to write")
+	}
+	n := series[0].Len()
+	iv := series[0].Interval()
+	for i, s := range series {
+		if s.Len() != n || s.Interval() != iv {
+			return fmt.Errorf("trace: series %q does not match shape of %q", names[i], names[0])
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"t"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for i := 0; i < n; i++ {
+		row[0] = strconv.FormatFloat(float64(i)*iv.Seconds(), 'f', 3, 64)
+		for j, s := range series {
+			row[j+1] = strconv.FormatFloat(s.At(i), 'f', 6, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads series written by WriteCSV. The interval is recovered from
+// the first two time stamps; a single-row file is rejected.
+func ReadCSV(r io.Reader) (names []string, series []*Series, err error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(records) < 3 {
+		return nil, nil, fmt.Errorf("trace: need a header and at least two rows, got %d records", len(records))
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "t" {
+		return nil, nil, fmt.Errorf("trace: malformed header %v", header)
+	}
+	names = header[1:]
+	t0, err := strconv.ParseFloat(records[1][0], 64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: bad timestamp: %w", err)
+	}
+	t1, err := strconv.ParseFloat(records[2][0], 64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: bad timestamp: %w", err)
+	}
+	iv := time.Duration((t1 - t0) * float64(time.Second))
+	if iv <= 0 {
+		return nil, nil, fmt.Errorf("trace: non-increasing timestamps %v, %v", t0, t1)
+	}
+	cols := make([][]float64, len(names))
+	for i := range cols {
+		cols[i] = make([]float64, 0, len(records)-1)
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != len(names)+1 {
+			return nil, nil, fmt.Errorf("trace: row has %d fields, want %d", len(rec), len(names)+1)
+		}
+		for j := range names {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: bad sample %q: %w", rec[j+1], err)
+			}
+			cols[j] = append(cols[j], v)
+		}
+	}
+	series = make([]*Series, len(names))
+	for i := range names {
+		series[i] = NewFromSamples(iv, cols[i])
+	}
+	return names, series, nil
+}

@@ -1,0 +1,103 @@
+// Package vmmodel represents virtual machines as consolidation sees them: a
+// name, a CPU demand trace, and the streaming monitoring state from which
+// the per-window reference utilization û (peak or Nth percentile) is drawn.
+package vmmodel
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// VM is one virtual machine with its full-horizon demand trace.
+type VM struct {
+	ID     string
+	Demand *trace.Series // CPU demand in core-equivalents
+}
+
+// New returns a VM over the given demand trace.
+func New(id string, demand *trace.Series) *VM {
+	if demand == nil {
+		panic("vmmodel: nil demand trace")
+	}
+	return &VM{ID: id, Demand: demand}
+}
+
+// String implements fmt.Stringer.
+func (v *VM) String() string {
+	return fmt.Sprintf("%s(%d samples @ %v)", v.ID, v.Demand.Len(), v.Demand.Interval())
+}
+
+// RefOver returns the reference utilization û of the demand over the sample
+// window [from, to): the peak when pctl >= 1, otherwise the percentile.
+func (v *VM) RefOver(from, to int, pctl float64) float64 {
+	return v.Demand.Slice(from, to).Ref(pctl)
+}
+
+// FromSeries builds a VM slice from parallel name and series slices.
+func FromSeries(names []string, demands []*trace.Series) []*VM {
+	if len(names) != len(demands) {
+		panic(fmt.Sprintf("vmmodel: %d names for %d series", len(names), len(demands)))
+	}
+	vms := make([]*VM, len(names))
+	for i := range names {
+		vms[i] = New(names[i], demands[i])
+	}
+	return vms
+}
+
+// Monitor tracks the reference utilization of one VM on-line. It wraps a P²
+// estimator (for percentile references) and an exact running max, so the
+// reference can be read at any time without storing the window — the
+// memory-saving property the paper highlights in Section IV-A.
+type Monitor struct {
+	pctl float64
+	p2   *stats.P2Quantile
+	max  float64
+	n    int
+}
+
+// NewMonitor returns a monitor for the given reference percentile; pctl >= 1
+// tracks the exact peak.
+func NewMonitor(pctl float64) *Monitor {
+	m := &Monitor{pctl: pctl}
+	if pctl < 1 {
+		if pctl <= 0 {
+			panic("vmmodel: reference percentile must be positive")
+		}
+		m.p2 = stats.NewP2Quantile(pctl)
+	}
+	return m
+}
+
+// Add feeds one demand sample.
+func (m *Monitor) Add(x float64) {
+	m.n++
+	if x > m.max {
+		m.max = x
+	}
+	if m.p2 != nil {
+		m.p2.Add(x)
+	}
+}
+
+// N returns the number of samples seen in the current window.
+func (m *Monitor) N() int { return m.n }
+
+// Ref returns the current reference utilization û.
+func (m *Monitor) Ref() float64 {
+	if m.p2 != nil {
+		return m.p2.Value()
+	}
+	return m.max
+}
+
+// Reset starts a new monitoring window.
+func (m *Monitor) Reset() {
+	m.max = 0
+	m.n = 0
+	if m.p2 != nil {
+		m.p2.Reset()
+	}
+}

@@ -1,0 +1,117 @@
+package vmmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestNewAndString(t *testing.T) {
+	s := trace.NewFromSamples(5*time.Second, []float64{1, 2, 3})
+	v := New("vm1", s)
+	if v.ID != "vm1" || v.Demand.Len() != 3 {
+		t.Fatalf("vm = %+v", v)
+	}
+	if v.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil demand should panic")
+		}
+	}()
+	New("bad", nil)
+}
+
+func TestRefOver(t *testing.T) {
+	s := trace.NewFromSamples(time.Second, []float64{1, 9, 2, 3, 4})
+	v := New("vm", s)
+	if got := v.RefOver(0, 5, 1); got != 9 {
+		t.Fatalf("peak = %v, want 9", got)
+	}
+	if got := v.RefOver(2, 5, 1); got != 4 {
+		t.Fatalf("windowed peak = %v, want 4", got)
+	}
+	p := v.RefOver(0, 5, 0.5)
+	if p != s.Percentile(0.5) {
+		t.Fatalf("percentile ref = %v, want %v", p, s.Percentile(0.5))
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	a := trace.NewFromSamples(time.Second, []float64{1})
+	b := trace.NewFromSamples(time.Second, []float64{2})
+	vms := FromSeries([]string{"a", "b"}, []*trace.Series{a, b})
+	if len(vms) != 2 || vms[1].ID != "b" {
+		t.Fatalf("vms = %v", vms)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths should panic")
+		}
+	}()
+	FromSeries([]string{"a"}, nil)
+}
+
+func TestMonitorPeak(t *testing.T) {
+	m := NewMonitor(1)
+	for _, v := range []float64{0.5, 3, 1, 2} {
+		m.Add(v)
+	}
+	if m.Ref() != 3 {
+		t.Fatalf("peak monitor ref = %v, want 3", m.Ref())
+	}
+	if m.N() != 4 {
+		t.Fatalf("n = %d, want 4", m.N())
+	}
+	m.Reset()
+	if m.Ref() != 0 || m.N() != 0 {
+		t.Fatal("reset should clear the monitor")
+	}
+}
+
+func TestMonitorPercentileTracksExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMonitor(0.9)
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64() * 0.4)
+		m.Add(v)
+		samples = append(samples, v)
+	}
+	exact := trace.NewFromSamples(time.Second, samples).Percentile(0.9)
+	if rel := math.Abs(m.Ref()-exact) / exact; rel > 0.05 {
+		t.Fatalf("monitor q90 = %v, exact = %v (rel %v)", m.Ref(), exact, rel)
+	}
+}
+
+func TestMonitorPanicsOnBadPercentile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pctl<=0 should panic")
+		}
+	}()
+	NewMonitor(0)
+}
+
+func TestMonitorPeakMatchesSeriesMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		m := NewMonitor(1)
+		max := 0.0
+		for _, r := range raw {
+			v := float64(r) / 100
+			m.Add(v)
+			if v > max {
+				max = v
+			}
+		}
+		return m.Ref() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

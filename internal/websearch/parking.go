@@ -1,0 +1,131 @@
+package websearch
+
+import (
+	"math"
+
+	"repro/internal/devent"
+)
+
+// ParkingConfig describes a per-pool core-parking controller: the
+// dynamic power-gating alternative the paper's Section III-A argues is
+// unsuitable for scale-out workloads. Cores park instantly but take
+// WakeDelay seconds to come back, during which queued queries pile up —
+// exactly the transition-latency penalty the paper cites.
+type ParkingConfig struct {
+	// Interval is the controller period in seconds.
+	Interval float64
+	// UpThreshold and DownThreshold are utilization bounds of the
+	// hysteresis controller (fractions of current capacity).
+	UpThreshold, DownThreshold float64
+	// MinCores is the floor the controller never parks below.
+	MinCores int
+	// WakeDelay is the unpark transition latency in seconds.
+	WakeDelay float64
+}
+
+// DefaultParking returns a reasonable controller: 1-second decisions,
+// wake after 1 s, scale up at 70% utilization and down below 35%.
+func DefaultParking() *ParkingConfig {
+	return &ParkingConfig{
+		Interval:      1,
+		UpThreshold:   0.70,
+		DownThreshold: 0.35,
+		MinCores:      2,
+		WakeDelay:     1,
+	}
+}
+
+func (p *ParkingConfig) sane() ParkingConfig {
+	out := *p
+	if out.Interval <= 0 {
+		out.Interval = 1
+	}
+	if out.UpThreshold <= 0 || out.UpThreshold > 1 {
+		out.UpThreshold = 0.7
+	}
+	if out.DownThreshold < 0 || out.DownThreshold >= out.UpThreshold {
+		out.DownThreshold = out.UpThreshold / 2
+	}
+	if out.MinCores < 1 {
+		out.MinCores = 1
+	}
+	if out.WakeDelay < 0 {
+		out.WakeDelay = 0
+	}
+	return out
+}
+
+// SetCores changes the pool's online core count, rescaling its capacity at
+// the current per-core speed. Service already in progress is advanced
+// before the change takes effect.
+func (p *Pool) SetCores(cores int) {
+	if cores < 1 {
+		cores = 1
+	}
+	p.advance()
+	p.fireCompletions()
+	p.capacity = float64(cores) * p.perJob
+	p.scheduleNext()
+}
+
+// CoresNow returns the pool's current online core count.
+func (p *Pool) CoresNow() int {
+	return int(math.Round(p.capacity / p.perJob))
+}
+
+// UsedTotal returns the cumulative core-seconds delivered since creation
+// (monotonic; unaffected by TakeUsed).
+func (p *Pool) UsedTotal() float64 {
+	p.advance()
+	p.fireCompletions()
+	p.scheduleNext()
+	return p.usedTotal
+}
+
+// runParkingController attaches a hysteresis core-parking controller to a
+// pool: every Interval it measures delivered work and backlog and adjusts
+// the online core count. Upward transitions are applied after WakeDelay.
+// onCores is invoked at every decision with the *target* core count, so
+// callers can integrate core-seconds for power accounting.
+func runParkingController(sim *devent.Sim, pool *Pool, maxCores int, cfg ParkingConfig, onCores func(now float64, cores int)) {
+	c := cfg.sane()
+	prevUsed := 0.0
+	var tick func()
+	tick = func() {
+		used := pool.UsedTotal()
+		served := (used - prevUsed) / c.Interval
+		prevUsed = used
+		cur := pool.CoresNow()
+		util := served / (float64(cur) * pool.perJob)
+		target := cur
+		switch {
+		case pool.Active() > 2*cur || util > c.UpThreshold:
+			target = cur + 1 + pool.Active()/(2*maxCores)
+		case util < c.DownThreshold:
+			target = cur - 1
+		}
+		if target > maxCores {
+			target = maxCores
+		}
+		if target < c.MinCores {
+			target = c.MinCores
+		}
+		if target > cur {
+			t := target
+			sim.Schedule(c.WakeDelay, func() {
+				// Only grow; a later decision may already have
+				// parked again.
+				if t > pool.CoresNow() {
+					pool.SetCores(t)
+				}
+			})
+		} else if target < cur {
+			pool.SetCores(target)
+		}
+		if onCores != nil {
+			onCores(sim.Now(), target)
+		}
+		sim.Schedule(c.Interval, tick)
+	}
+	sim.Schedule(c.Interval, tick)
+}

@@ -1,0 +1,142 @@
+package websearch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/devent"
+)
+
+func TestSetCoresRescalesCapacity(t *testing.T) {
+	s := devent.New()
+	p := NewPool(s, 8, 1)
+	if p.CoresNow() != 8 {
+		t.Fatalf("cores = %d", p.CoresNow())
+	}
+	p.SetCores(2)
+	if p.CoresNow() != 2 || p.Capacity() != 2 {
+		t.Fatalf("after SetCores(2): cores=%d cap=%v", p.CoresNow(), p.Capacity())
+	}
+	p.SetCores(0) // clamps to 1
+	if p.CoresNow() != 1 {
+		t.Fatalf("SetCores(0) should clamp to 1, got %d", p.CoresNow())
+	}
+}
+
+func TestSetCoresMidService(t *testing.T) {
+	// 4 jobs of 1 cs on 4 cores; at t=0.5 shrink to 1 core. Each job has
+	// 0.5 cs left, sharing 1 core at 0.25 each: 2 more seconds -> t=2.5.
+	s := devent.New()
+	p := NewPool(s, 4, 1)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		p.Submit(1, nil, func(now float64) { done = append(done, now) })
+	}
+	s.Schedule(0.5, func() { p.SetCores(1) })
+	s.Run(10)
+	if len(done) != 4 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	for _, d := range done {
+		if math.Abs(d-2.5) > 1e-9 {
+			t.Fatalf("completion at %v, want 2.5", d)
+		}
+	}
+}
+
+func TestUsedTotalMonotonic(t *testing.T) {
+	s := devent.New()
+	p := NewPool(s, 2, 1)
+	p.Submit(3, nil, nil)
+	s.Run(1)
+	u1 := p.UsedTotal()
+	_ = p.TakeUsed() // resetting the window must not touch the total
+	s.Run(5)
+	u2 := p.UsedTotal()
+	if u2 < u1 {
+		t.Fatalf("UsedTotal went backwards: %v -> %v", u1, u2)
+	}
+	if math.Abs(u2-3) > 1e-9 {
+		t.Fatalf("total delivered %v, want all 3", u2)
+	}
+}
+
+func TestParkingConfigSanitize(t *testing.T) {
+	bad := ParkingConfig{Interval: -1, UpThreshold: 5, DownThreshold: 9, MinCores: 0, WakeDelay: -2}
+	c := bad.sane()
+	if c.Interval <= 0 || c.UpThreshold <= 0 || c.UpThreshold > 1 ||
+		c.DownThreshold >= c.UpThreshold || c.MinCores < 1 || c.WakeDelay < 0 {
+		t.Fatalf("sanitized config still bad: %+v", c)
+	}
+}
+
+func TestParkingControllerParksWhenIdle(t *testing.T) {
+	s := devent.New()
+	p := NewPool(s, 8, 1)
+	runParkingController(s, p, 8, *DefaultParking(), nil)
+	s.Run(30) // no load at all
+	if p.CoresNow() > DefaultParking().MinCores {
+		t.Fatalf("idle pool still has %d cores online", p.CoresNow())
+	}
+}
+
+func TestParkingControllerScalesUpUnderLoad(t *testing.T) {
+	s := devent.New()
+	p := NewPool(s, 8, 1)
+	p.SetCores(2)
+	cfg := *DefaultParking()
+	runParkingController(s, p, 8, cfg, nil)
+	// Sustained offered load of ~6 cores.
+	var feed func()
+	feed = func() {
+		for i := 0; i < 6; i++ {
+			p.Submit(0.1, nil, nil)
+		}
+		if s.Now() < 28 {
+			s.Schedule(0.1, feed)
+		}
+	}
+	s.Schedule(0, feed)
+	s.Run(30)
+	if p.CoresNow() < 5 {
+		t.Fatalf("loaded pool only has %d cores online", p.CoresNow())
+	}
+}
+
+func TestRunWithParkingRecordsCores(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Parking = DefaultParking()
+	r, err := Run(cfg, SharedCorr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pc := range r.PoolCores {
+		if pc.Len() == 0 {
+			t.Fatalf("pool %d has no cores trace", i)
+		}
+		if pc.Min() < 1 || pc.Max() > 8 {
+			t.Fatalf("pool %d cores out of range: [%v, %v]", i, pc.Min(), pc.Max())
+		}
+	}
+	// The controller must actually have parked something during troughs.
+	parked := false
+	for _, pc := range r.PoolCores {
+		if pc.Min() < 8 {
+			parked = true
+		}
+	}
+	if !parked {
+		t.Fatal("parking controller never parked a core")
+	}
+	// Without parking the cores traces are flat at the pool size.
+	cfg.Parking = nil
+	r2, err := Run(cfg, SharedCorr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range r2.PoolCores {
+		if pc.Min() != 8 || pc.Max() != 8 {
+			t.Fatalf("static pool cores should stay at 8: [%v, %v]", pc.Min(), pc.Max())
+		}
+	}
+}

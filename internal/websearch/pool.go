@@ -1,0 +1,179 @@
+// Package websearch simulates the paper's Setup 1: distributed web-search
+// clusters (CloudSuite-style), each a front-end plus index-serving nodes
+// (ISNs), driven by a time-varying client population. Queries fan out to
+// every ISN of their cluster; the response completes when the slowest ISN
+// finishes, which is what makes tail latency sensitive to load imbalance
+// and correlated peaks.
+//
+// Physical servers are modelled as processor-sharing core pools whose
+// throughput scales with the operating frequency — the same work-conserving
+// sharing the Xen credit scheduler provides when co-located VMs share
+// cores (paper Section III-B).
+package websearch
+
+import (
+	"math"
+
+	"repro/internal/devent"
+)
+
+// Pool is a processor-sharing core pool: active jobs share Capacity core-
+// equivalents of throughput, each job capped at the speed of one core (a
+// query's work on an ISN is sequential). Work is measured in core-seconds
+// at the reference (maximum) frequency.
+type Pool struct {
+	sim *devent.Sim
+	// capacity in fmax-core-equivalents: cores * f/fmax.
+	capacity float64
+	// perJob caps a single job's rate (f/fmax: one core at frequency f).
+	perJob float64
+
+	jobs       []*job
+	lastUpdate float64
+	gen        int64
+
+	// usedWork accumulates delivered core-seconds since the last call to
+	// TakeUsed; per-key attribution lives on the jobs. usedTotal is the
+	// monotonic lifetime counter.
+	usedWork  float64
+	usedTotal float64
+}
+
+type job struct {
+	remaining float64
+	owner     *Accumulator
+	done      func(now float64)
+}
+
+// Accumulator attributes delivered work to a VM (ISN) for utilization
+// sampling.
+type Accumulator struct {
+	Used float64 // core-seconds delivered since last reset
+}
+
+// Take returns and clears the accumulated core-seconds.
+func (a *Accumulator) Take() float64 {
+	u := a.Used
+	a.Used = 0
+	return u
+}
+
+// NewPool returns a pool over the given simulator with capacity cores
+// running at relative speed speed = f/fmax.
+func NewPool(sim *devent.Sim, cores int, speed float64) *Pool {
+	if cores <= 0 || speed <= 0 {
+		panic("websearch: pool needs positive cores and speed")
+	}
+	return &Pool{
+		sim:      sim,
+		capacity: float64(cores) * speed,
+		perJob:   speed,
+	}
+}
+
+// Capacity returns the pool's throughput in fmax-core-equivalents.
+func (p *Pool) Capacity() float64 { return p.capacity }
+
+// Active returns the number of in-flight jobs.
+func (p *Pool) Active() int { return len(p.jobs) }
+
+// rate returns the per-job service rate right now.
+func (p *Pool) rate() float64 {
+	n := len(p.jobs)
+	if n == 0 {
+		return 0
+	}
+	return math.Min(p.capacity/float64(n), p.perJob)
+}
+
+// advance applies service between lastUpdate and now.
+func (p *Pool) advance() {
+	now := p.sim.Now()
+	dt := now - p.lastUpdate
+	p.lastUpdate = now
+	if dt <= 0 || len(p.jobs) == 0 {
+		return
+	}
+	r := p.rate()
+	for _, j := range p.jobs {
+		served := r * dt
+		if served > j.remaining {
+			served = j.remaining
+		}
+		j.remaining -= served
+		p.usedWork += served
+		p.usedTotal += served
+		if j.owner != nil {
+			j.owner.Used += served
+		}
+	}
+}
+
+// fireCompletions removes and completes all jobs with no remaining work.
+func (p *Pool) fireCompletions() {
+	now := p.sim.Now()
+	kept := p.jobs[:0]
+	var finished []*job
+	for _, j := range p.jobs {
+		if j.remaining <= 1e-12 {
+			finished = append(finished, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	p.jobs = kept
+	for _, j := range finished {
+		if j.done != nil {
+			j.done(now)
+		}
+	}
+}
+
+// scheduleNext arms the next-completion timer.
+func (p *Pool) scheduleNext() {
+	p.gen++
+	if len(p.jobs) == 0 {
+		return
+	}
+	r := p.rate()
+	min := math.Inf(1)
+	for _, j := range p.jobs {
+		if j.remaining < min {
+			min = j.remaining
+		}
+	}
+	gen := p.gen
+	p.sim.Schedule(min/r, func() {
+		if gen != p.gen {
+			return // superseded by a later arrival/completion
+		}
+		p.advance()
+		p.fireCompletions()
+		p.scheduleNext()
+	})
+}
+
+// Submit adds a job of the given work (core-seconds at fmax) attributed to
+// owner; done fires at completion with the completion time.
+func (p *Pool) Submit(work float64, owner *Accumulator, done func(now float64)) {
+	if work <= 0 {
+		if done != nil {
+			done(p.sim.Now())
+		}
+		return
+	}
+	p.advance()
+	p.jobs = append(p.jobs, &job{remaining: work, owner: owner, done: done})
+	p.scheduleNext()
+}
+
+// TakeUsed returns the core-seconds the pool delivered since the previous
+// call, folding in service up to the current instant.
+func (p *Pool) TakeUsed() float64 {
+	p.advance()
+	p.fireCompletions()
+	p.scheduleNext()
+	u := p.usedWork
+	p.usedWork = 0
+	return u
+}

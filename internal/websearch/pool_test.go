@@ -1,0 +1,150 @@
+package websearch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/devent"
+)
+
+func TestPoolSingleJob(t *testing.T) {
+	s := devent.New()
+	p := NewPool(s, 4, 1)
+	var doneAt float64 = -1
+	p.Submit(2, nil, func(now float64) { doneAt = now })
+	s.Run(10)
+	// One job capped at 1 core: 2 core-seconds take 2 seconds.
+	if math.Abs(doneAt-2) > 1e-9 {
+		t.Fatalf("done at %v, want 2", doneAt)
+	}
+}
+
+func TestPoolFrequencyScalesService(t *testing.T) {
+	s := devent.New()
+	p := NewPool(s, 4, 0.5) // half speed
+	var doneAt float64 = -1
+	p.Submit(2, nil, func(now float64) { doneAt = now })
+	s.Run(10)
+	if math.Abs(doneAt-4) > 1e-9 {
+		t.Fatalf("done at %v, want 4 at half speed", doneAt)
+	}
+}
+
+func TestPoolProcessorSharing(t *testing.T) {
+	// 8 jobs of 1 core-second each on a 4-core pool: each runs at 0.5
+	// cores, all complete at t=2.
+	s := devent.New()
+	p := NewPool(s, 4, 1)
+	var completions []float64
+	for i := 0; i < 8; i++ {
+		p.Submit(1, nil, func(now float64) { completions = append(completions, now) })
+	}
+	s.Run(10)
+	if len(completions) != 8 {
+		t.Fatalf("%d completions", len(completions))
+	}
+	for _, c := range completions {
+		if math.Abs(c-2) > 1e-9 {
+			t.Fatalf("completion at %v, want 2", c)
+		}
+	}
+}
+
+func TestPoolPerJobCap(t *testing.T) {
+	// 2 jobs on an 8-core pool: per-job cap (1 core) binds, not the pool.
+	s := devent.New()
+	p := NewPool(s, 8, 1)
+	var last float64
+	p.Submit(3, nil, func(now float64) { last = now })
+	p.Submit(3, nil, func(now float64) { last = now })
+	s.Run(10)
+	if math.Abs(last-3) > 1e-9 {
+		t.Fatalf("completion at %v, want 3 (per-job cap)", last)
+	}
+}
+
+func TestPoolLateArrivalSharing(t *testing.T) {
+	// Job A (2 cs) starts at 0 on a 1-core pool; job B (1 cs) arrives at
+	// t=1. From t=1 they share the core: A has 1 cs left, B has 1 cs.
+	// Both finish at t=3.
+	s := devent.New()
+	p := NewPool(s, 1, 1)
+	var aDone, bDone float64
+	p.Submit(2, nil, func(now float64) { aDone = now })
+	s.Schedule(1, func() {
+		p.Submit(1, nil, func(now float64) { bDone = now })
+	})
+	s.Run(10)
+	if math.Abs(aDone-3) > 1e-9 || math.Abs(bDone-3) > 1e-9 {
+		t.Fatalf("aDone=%v bDone=%v, want both 3", aDone, bDone)
+	}
+}
+
+func TestPoolZeroWorkCompletesImmediately(t *testing.T) {
+	s := devent.New()
+	p := NewPool(s, 1, 1)
+	called := false
+	p.Submit(0, nil, func(now float64) { called = true })
+	if !called {
+		t.Fatal("zero-work job should complete synchronously")
+	}
+}
+
+func TestPoolAccounting(t *testing.T) {
+	s := devent.New()
+	p := NewPool(s, 4, 1)
+	a := &Accumulator{}
+	p.Submit(2, a, nil)
+	s.Run(1)
+	used := p.TakeUsed()
+	if math.Abs(used-1) > 1e-9 {
+		t.Fatalf("pool delivered %v core-seconds in 1s, want 1", used)
+	}
+	if math.Abs(a.Used-1) > 1e-9 {
+		t.Fatalf("accumulator has %v, want 1", a.Used)
+	}
+	if got := a.Take(); math.Abs(got-1) > 1e-9 || a.Used != 0 {
+		t.Fatalf("Take = %v, Used after = %v", got, a.Used)
+	}
+	s.Run(5)
+	if used := p.TakeUsed(); math.Abs(used-1) > 1e-9 {
+		t.Fatalf("second window delivered %v, want remaining 1", used)
+	}
+}
+
+func TestPoolConservation(t *testing.T) {
+	// Work in == work delivered once everything drains.
+	s := devent.New()
+	p := NewPool(s, 2, 1)
+	total := 0.0
+	for i := 0; i < 20; i++ {
+		w := 0.1 * float64(i+1)
+		total += w
+		delay := 0.3 * float64(i)
+		s.Schedule(delay, func() { p.Submit(w, nil, nil) })
+	}
+	s.Run(1000)
+	if p.Active() != 0 {
+		t.Fatalf("%d jobs still active", p.Active())
+	}
+	if got := p.TakeUsed(); math.Abs(got-total) > 1e-6 {
+		t.Fatalf("delivered %v, submitted %v", got, total)
+	}
+}
+
+func TestPoolPanicsOnBadArgs(t *testing.T) {
+	s := devent.New()
+	for _, fn := range []func(){
+		func() { NewPool(s, 0, 1) },
+		func() { NewPool(s, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
