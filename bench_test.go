@@ -197,9 +197,12 @@ func BenchmarkCostMatrixUpdateP95(b *testing.B) {
 }
 
 // BenchmarkAllocatorScale sweeps the allocator over growing VM counts
-// (ablation A5's runtime axis).
+// (ablation A5's runtime axis). The ≥1k sizes guard the index-set remove
+// path in Allocator.Place: with the old spliced-slice removal the per-VM
+// removal cost alone was O(n²), visible as superlinear ns/op growth from
+// 1000 to 2000 VMs.
 func BenchmarkAllocatorScale(b *testing.B) {
-	for _, n := range []int{40, 100, 200, 400} {
+	for _, n := range []int{40, 100, 200, 400, 1000, 2000} {
 		b.Run(fmt.Sprintf("vms=%d", n), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(7))
 			reqs := make([]place.Request, n)

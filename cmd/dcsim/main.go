@@ -1,100 +1,132 @@
-// Command dcsim runs one Setup-2 datacenter consolidation simulation:
-// synthetic day-long traces, a chosen placement policy, and static or
-// dynamic voltage/frequency scaling. It prints Table-II-style results plus
-// the per-period breakdown.
+// Command dcsim runs one Setup-2 datacenter consolidation simulation
+// through the public pkg/dcsim façade: a synthetic day of traces, a
+// placement policy and frequency governor selected by registry name, and
+// Table-II-style results. Scenarios can also be loaded from JSON files
+// (-scenario), and -progress streams per-period metrics while the run is in
+// flight; Ctrl-C cancels the run and prints the partial result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"time"
+	"os"
+	"os/signal"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/place"
-	"repro/internal/power"
-	"repro/internal/predict"
-	"repro/internal/report"
-	"repro/internal/server"
-	"repro/internal/sim"
-	"repro/internal/synth"
-	"repro/internal/vmmodel"
+	"repro/pkg/dcsim"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dcsim: ")
+	def := dcsim.DefaultScenario()
 	var (
-		policy  = flag.String("policy", "corr", "placement policy: ffd, bfd, pcp, jointvm, corr")
-		vms     = flag.Int("vms", 40, "number of VM traces")
-		groups  = flag.Int("groups", 8, "number of correlated service groups")
-		servers = flag.Int("servers", 20, "server pool size")
-		hours   = flag.Int("hours", 24, "trace horizon in hours")
-		seed    = flag.Int64("seed", 1, "trace generator seed")
-		dynamic = flag.Bool("dynamic", false, "rescale v/f every minute instead of per period")
-		pctl    = flag.Float64("pctl", 1, "reference percentile for û (1 = peak)")
-		periods = flag.Bool("periods", false, "print the per-period breakdown")
+		scenario  = flag.String("scenario", "", "JSON scenario file (explicitly set flags override it)")
+		policy    = flag.String("policy", def.Policy, "placement policy: "+strings.Join(dcsim.Policies(), ", "))
+		governor  = flag.String("governor", "", "frequency governor: "+strings.Join(dcsim.Governors(), ", ")+" (default pairs with the policy)")
+		predictor = flag.String("predictor", def.Predictor, "predictor: "+strings.Join(dcsim.Predictors(), ", "))
+		vms       = flag.Int("vms", def.Workload.VMs, "number of VM traces")
+		groups    = flag.Int("groups", def.Workload.Groups, "number of correlated service groups")
+		servers   = flag.Int("servers", def.MaxServers, "server pool size")
+		hours     = flag.Int("hours", def.Workload.Hours, "trace horizon in hours")
+		seed      = flag.Int64("seed", def.Workload.Seed, "trace generator seed")
+		dynamic   = flag.Bool("dynamic", false, "rescale v/f every minute instead of per period")
+		pctl      = flag.Float64("pctl", def.Pctl, "reference percentile for û (1 = peak)")
+		periods   = flag.Bool("periods", false, "print the per-period breakdown")
+		progress  = flag.Bool("progress", false, "stream per-period metrics while running")
 	)
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	dcfg := synth.DefaultDatacenterConfig()
-	dcfg.VMs = *vms
-	dcfg.Groups = *groups
-	dcfg.Day = time.Duration(*hours) * time.Hour
-	dcfg.Seed = *seed
-	ds := synth.Datacenter(dcfg)
-	vmList := vmmodel.FromSeries(ds.Names, ds.Fine)
+	sc := dcsim.DefaultScenario()
+	if *scenario != "" {
+		var err error
+		sc, err = dcsim.LoadScenario(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A flag applies when set explicitly, or — without a scenario file —
+	// through its default (which mirrors DefaultScenario, so -help shows
+	// the real values).
+	use := func(name string) bool { return set[name] || *scenario == "" }
+	if use("policy") {
+		sc.Policy = *policy
+	}
+	switch {
+	case set["governor"]:
+		sc.Governor = *governor
+	case set["policy"] || *scenario == "":
+		// Clear the governor so Normalized re-pairs it with the chosen
+		// policy (eqn4 for corr-aware, worst-case for the baselines).
+		sc.Governor = ""
+	}
+	if use("predictor") {
+		sc.Predictor = *predictor
+	}
+	if use("vms") {
+		sc.Workload.VMs = *vms
+	}
+	if use("groups") {
+		sc.Workload.Groups = *groups
+	}
+	if use("servers") {
+		sc.MaxServers = *servers
+	}
+	if use("hours") {
+		sc.Workload.Hours = *hours
+	}
+	if use("seed") {
+		sc.Workload.Seed = *seed
+	}
+	if use("pctl") {
+		sc.Pctl = *pctl
+	}
+	if set["dynamic"] || *scenario == "" {
+		if *dynamic {
+			sc.RescaleEvery = 12
+		} else {
+			sc.RescaleEvery = 0
+		}
+	}
+	// Echo (and run) the effective configuration: a sparse scenario's
+	// unset fields are filled with their defaults.
+	sc = sc.Normalized()
 
-	cfg := sim.Config{
-		Spec:          server.XeonE5410(),
-		Power:         power.XeonE5410(),
-		MaxServers:    *servers,
-		PeriodSamples: 720,
-		Pctl:          *pctl,
-		Predictor:     predict.LastValue{},
-	}
-	if *dynamic {
-		cfg.RescaleEvery = 12
-	}
-	switch *policy {
-	case "ffd":
-		cfg.Policy = place.FFD{}
-		cfg.Governor = sim.WorstCase{}
-	case "bfd":
-		cfg.Policy = place.BFD{}
-		cfg.Governor = sim.WorstCase{}
-	case "pcp":
-		cfg.Policy = place.PCP{}
-		cfg.Governor = sim.WorstCase{}
-	case "jointvm":
-		cfg.Policy = place.JointVM{}
-		cfg.Governor = sim.WorstCase{}
-	case "corr":
-		m := core.NewCostMatrix(len(vmList), *pctl)
-		cfg.Matrix = m
-		cfg.Policy = &core.Allocator{Config: core.Config{Pctl: *pctl, THCost: 1.15, Alpha: 0.9}, Matrix: m}
-		cfg.Governor = sim.CorrAware{Matrix: m}
-	default:
-		log.Fatalf("unknown policy %q (want ffd, bfd, pcp, or corr)", *policy)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var obs []dcsim.Observer
+	if *progress {
+		obs = append(obs, dcsim.PeriodFunc(func(p dcsim.Period) {
+			fmt.Printf("period %3d  active=%2d  energy=%.1f kJ  maxViol=%.1f%%  migrations=%d\n",
+				p.Period, p.ActiveServers, p.EnergyJ/1000, p.MaxViolationPct, p.Migrations)
+		}))
 	}
 
-	res, err := sim.Run(vmList, cfg)
+	res, err := dcsim.Run(ctx, sc, obs...)
 	if err != nil {
-		log.Fatal(err)
+		if res == nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run stopped early (%v); partial result over %d periods:\n", err, len(res.Periods))
 	}
 	mode := "static"
-	if *dynamic {
+	if sc.RescaleEvery > 0 {
 		mode = "dynamic"
 	}
 	fmt.Printf("policy=%s governor=%s mode=%s vms=%d servers<=%d horizon=%dh seed=%d\n",
-		res.Policy, res.Governor, mode, len(vmList), *servers, *hours, *seed)
+		res.Policy, res.Governor, mode, sc.Workload.VMs, sc.MaxServers, sc.Workload.Hours, sc.Workload.Seed)
 	fmt.Printf("energy          %.1f kJ (mean %.0f W)\n", res.EnergyJ/1000, res.MeanPowerW)
 	fmt.Printf("max violations  %.1f %%\n", res.MaxViolationPct)
 	fmt.Printf("mean violations %.1f %%\n", res.MeanViolationPct)
 	fmt.Printf("mean active     %.1f servers\n", res.MeanActive)
 	fmt.Printf("migrations      %d\n", res.TotalMigrations)
 	if *periods {
-		t := report.NewTable("period", "active", "energy (kJ)", "max viol (%)")
+		t := dcsim.NewTable("period", "active", "energy (kJ)", "max viol (%)")
 		for _, p := range res.Periods {
 			t.AddRow(fmt.Sprint(p.Period), fmt.Sprint(p.ActiveServers),
 				fmt.Sprintf("%.1f", p.EnergyJ/1000), fmt.Sprintf("%.1f", p.MaxViolationPct))

@@ -1,6 +1,7 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (Figs 1, 3-6; Tables I, II(a), II(b)) plus the ablation
-// studies, printing each as text. Run with -quick for a fast smoke pass.
+// studies, each selected by registry name and printed as text. Run with
+// -quick for a fast smoke pass.
 package main
 
 import (
@@ -10,77 +11,50 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/exp"
+	"repro/pkg/dcsim/experiments"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	quick := flag.Bool("quick", false, "run shortened horizons (smoke test)")
-	only := flag.String("only", "", "comma-separated subset: fig1,tablei,fig3,fig4,fig5,tableiia,tableiib,fig6,extended,gating,ablations")
+	only := flag.String("only", "", "comma-separated subset: "+
+		strings.Join(experiments.Names(), ",")+",ablations")
 	flag.Parse()
 
-	o := exp.Full()
-	if *quick {
-		o = exp.Quick()
+	known := map[string]bool{"ablations": true}
+	for _, n := range experiments.Names() {
+		known[n] = true
 	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToLower(k))] = true
+			k = strings.TrimSpace(strings.ToLower(k))
+			if !known[k] {
+				log.Fatalf("unknown artifact %q (have %s, ablations)",
+					k, strings.Join(experiments.Names(), ", "))
+			}
+			want[k] = true
 		}
 	}
 	pick := func(key string) bool { return len(want) == 0 || want[key] }
 
-	type artifact struct {
-		key string
-		run func() (fmt.Stringer, error)
+	if want["ablations"] {
+		for _, a := range experiments.Ablations() {
+			want[a] = true
+		}
 	}
-	artifacts := []artifact{
-		{"fig1", func() (fmt.Stringer, error) { return exp.Fig1(o) }},
-		{"tablei", func() (fmt.Stringer, error) { return exp.TableI(o) }},
-		{"fig3", func() (fmt.Stringer, error) { return exp.Fig3(o) }},
-		{"fig4", func() (fmt.Stringer, error) { return exp.Fig4(o) }},
-		{"fig5", func() (fmt.Stringer, error) { return exp.Fig5(o) }},
-		{"tableiia", func() (fmt.Stringer, error) { return exp.TableII(o, false) }},
-		{"tableiib", func() (fmt.Stringer, error) { return exp.TableII(o, true) }},
-		{"fig6", func() (fmt.Stringer, error) { return exp.Fig6(o) }},
-		{"extended", func() (fmt.Stringer, error) { return exp.TableIIExtended(o, false) }},
-		{"gating", func() (fmt.Stringer, error) { return exp.PowerGating(o) }},
-	}
-	for _, a := range artifacts {
-		if !pick(a.key) {
+	// Iterate the live registry so late registrations run too; built-ins
+	// are registered in the paper's presentation order.
+	for _, name := range experiments.Names() {
+		if !pick(name) {
 			continue
 		}
-		res, err := a.run()
+		res, err := experiments.Run(name, *quick)
 		if err != nil {
-			log.Printf("%s failed: %v", a.key, err)
+			log.Printf("%s failed: %v", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(res)
-	}
-
-	if pick("ablations") {
-		type ab struct {
-			name string
-			run  func(exp.Options) (*exp.AblationResult, error)
-		}
-		for _, a := range []ab{
-			{"A1", exp.AblationThreshold},
-			{"A2", exp.AblationReference},
-			{"A3", exp.AblationPredictor},
-			{"A4", exp.AblationMetric},
-			{"A5", exp.AblationCorrelationStructure},
-			{"A6", exp.AblationMatrixWindow},
-			{"A7", exp.AblationLevels},
-			{"A8", exp.AblationOracle},
-		} {
-			res, err := a.run(o)
-			if err != nil {
-				log.Printf("ablation %s failed: %v", a.name, err)
-				os.Exit(1)
-			}
-			fmt.Println(res)
-		}
 	}
 }

@@ -1,6 +1,6 @@
 // Command tracegen emits the synthetic datacenter utilization traces
 // (Setup 2's stand-in for the proprietary dataset) as CSV, at coarse
-// (5-min) or fine (5-s) granularity.
+// (5-min) or fine (5-s) granularity, through the pkg/dcsim workload API.
 package main
 
 import (
@@ -8,16 +8,15 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
 
-	"repro/internal/synth"
-	"repro/internal/trace"
+	"repro/pkg/dcsim"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	var (
+		kind   = flag.String("kind", "datacenter", "workload kind: datacenter or uncorrelated")
 		vms    = flag.Int("vms", 40, "number of VM traces")
 		groups = flag.Int("groups", 8, "number of correlated service groups")
 		hours  = flag.Int("hours", 24, "horizon in hours")
@@ -26,13 +25,22 @@ func main() {
 		out    = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	// The façade treats zero workload fields as "use the default", so
+	// reject degenerate values here instead of silently substituting.
+	if *vms < 1 || *groups < 1 || *hours < 1 {
+		log.Fatal("vms, groups, and hours must be positive")
+	}
 
-	cfg := synth.DefaultDatacenterConfig()
-	cfg.VMs = *vms
-	cfg.Groups = *groups
-	cfg.Day = time.Duration(*hours) * time.Hour
-	cfg.Seed = *seed
-	ds := synth.Datacenter(cfg)
+	ds, err := dcsim.GenerateTraces(dcsim.Workload{
+		Kind:   *kind,
+		VMs:    *vms,
+		Groups: *groups,
+		Hours:  *hours,
+		Seed:   *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	series := ds.Coarse
 	if *fine {
@@ -48,7 +56,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := trace.WriteCSV(w, ds.Names, series); err != nil {
+	if err := dcsim.WriteCSV(w, ds.Names, series); err != nil {
 		log.Fatal(err)
 	}
 	if *out != "" {

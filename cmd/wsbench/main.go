@@ -1,7 +1,7 @@
 // Command wsbench runs the Setup-1 web-search cluster experiment: two
-// clusters driven by sine/cosine client waves under a chosen placement and
-// frequency, reporting per-cluster response-time percentiles and
-// utilization summaries.
+// clusters driven by sine/cosine client waves under a placement selected by
+// registry name and a chosen frequency, reporting per-cluster response-time
+// percentiles and utilization summaries.
 package main
 
 import (
@@ -9,17 +9,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
-	"repro/internal/report"
-	"repro/internal/trace"
-	"repro/internal/websearch"
+	"repro/pkg/dcsim"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wsbench: ")
 	var (
-		mode     = flag.String("placement", "shared-corr", "segregated, shared-uncorr, or shared-corr")
+		mode     = flag.String("placement", "shared-corr", "placement: "+strings.Join(dcsim.WebSearchPlacements(), ", "))
 		speed    = flag.Float64("speed", 1.0, "relative frequency f/fmax")
 		duration = flag.Float64("duration", 1200, "simulated seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -27,28 +26,17 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := websearch.DefaultConfig()
-	cfg.Duration = *duration
-	cfg.Seed = *seed
-
-	var pl *websearch.Placement
-	switch *mode {
-	case "segregated":
-		pl = websearch.Segregated(*speed)
-	case "shared-uncorr":
-		pl = websearch.SharedUnCorr(*speed)
-	case "shared-corr":
-		pl = websearch.SharedCorr(*speed)
-	default:
-		log.Fatalf("unknown placement %q", *mode)
-	}
-
-	res, err := websearch.Run(cfg, pl)
+	res, err := dcsim.RunWebSearch(dcsim.WebSearchScenario{
+		Placement: *mode,
+		Speed:     *speed,
+		Duration:  *duration,
+		Seed:      *seed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("placement=%s speed=%.3f duration=%.0fs\n", pl.Name, *speed, *duration)
-	t := report.NewTable("cluster", "queries", "mean (s)", "p90 (s)")
+	fmt.Printf("placement=%s speed=%.3f duration=%.0fs\n", res.PlacementName, *speed, *duration)
+	t := dcsim.NewTable("cluster", "queries", "mean (s)", "p90 (s)")
 	for c := range res.P90 {
 		t.AddRow(fmt.Sprintf("cluster%d", c+1), fmt.Sprint(res.Queries[c]),
 			fmt.Sprintf("%.3f", res.Mean[c]), fmt.Sprintf("%.3f", res.P90[c]))
@@ -56,7 +44,7 @@ func main() {
 	fmt.Print(t)
 	for i, pu := range res.PoolUtil {
 		fmt.Printf("pool%d util  %s  peak(30s)=%.2f\n",
-			i, report.Sparkline(pu, 64, 0, 1), pu.Downsample(30).Max())
+			i, dcsim.Sparkline(pu, 64, 0, 1), pu.Downsample(30).Max())
 	}
 
 	if *csvOut != "" {
@@ -66,16 +54,16 @@ func main() {
 		}
 		defer f.Close()
 		names := []string{}
-		series := []*trace.Series{}
+		series := []*dcsim.Series{}
 		for i, s := range res.VMUtil {
-			names = append(names, cfg.ISNs[i].Name)
+			names = append(names, res.ISNNames[i])
 			series = append(series, s)
 		}
 		for c, s := range res.ClientTrace {
 			names = append(names, fmt.Sprintf("clients%d", c+1))
 			series = append(series, s)
 		}
-		if err := trace.WriteCSV(f, names, series); err != nil {
+		if err := dcsim.WriteCSV(f, names, series); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *csvOut)

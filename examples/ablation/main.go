@@ -1,34 +1,23 @@
-// Ablation runs the sensitivity studies from DESIGN.md: the THcost
+// Ablation runs the sensitivity studies from DESIGN.md — the THcost
 // threshold, the reference percentile, the predictor, the affinity metric,
-// the correlation structure of the traces, and the monitoring window.
+// the correlation structure of the traces, the monitoring window, the
+// frequency levels, and the oracle bound — each selected from the
+// experiment registry by name.
 package main
 
 import (
 	"flag"
 	"fmt"
 
-	"repro/internal/exp"
+	"repro/pkg/dcsim/experiments"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use shortened horizons")
 	flag.Parse()
 
-	o := exp.Full()
-	if *quick {
-		o = exp.Quick()
-	}
-	for _, run := range []func(exp.Options) (*exp.AblationResult, error){
-		exp.AblationThreshold,
-		exp.AblationReference,
-		exp.AblationPredictor,
-		exp.AblationMetric,
-		exp.AblationCorrelationStructure,
-		exp.AblationMatrixWindow,
-		exp.AblationLevels,
-		exp.AblationOracle,
-	} {
-		res, err := run(o)
+	for _, name := range experiments.Ablations() {
+		res, err := experiments.Run(name, *quick)
 		if err != nil {
 			panic(err)
 		}

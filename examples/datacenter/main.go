@@ -1,67 +1,40 @@
-// Datacenter reproduces the paper's Setup 2 as a library walkthrough: a
-// day of synthetic utilization traces for 40 VMs in correlated service
-// groups, consolidated hourly onto 20 Xeon servers under three policies,
-// with static Eqn-4 frequency planning for the proposed one.
+// Datacenter reproduces the paper's Setup 2 as a façade walkthrough: a day
+// of synthetic utilization traces for 40 VMs in correlated service groups,
+// consolidated hourly onto 20 Xeon servers under three policies selected by
+// registry name, with static Eqn-4 frequency planning for the proposed one.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/place"
-	"repro/internal/power"
-	"repro/internal/predict"
-	"repro/internal/report"
-	"repro/internal/server"
-	"repro/internal/sim"
-	"repro/internal/synth"
-	"repro/internal/vmmodel"
+	"repro/pkg/dcsim"
 )
 
 func main() {
-	ds := synth.Datacenter(synth.DefaultDatacenterConfig())
-	vms := vmmodel.FromSeries(ds.Names, ds.Fine)
-	fmt.Printf("generated %d VMs x %d fine samples (%d service groups)\n\n",
-		len(vms), vms[0].Demand.Len(), 8)
+	sc := dcsim.DefaultScenario()
+	fmt.Printf("Setup 2: %d VMs x %dh (%d service groups) on <=%d servers\n\n",
+		sc.Workload.VMs, sc.Workload.Hours, sc.Workload.Groups, sc.MaxServers)
 
-	base := sim.Config{
-		Spec:          server.XeonE5410(),
-		Power:         power.XeonE5410(),
-		MaxServers:    20,
-		PeriodSamples: 720,
-		Pctl:          1,
-		Predictor:     predict.LastValue{},
-	}
-
-	run := func(name string, mutate func(*sim.Config)) *sim.Result {
-		cfg := base
-		mutate(&cfg)
-		res, err := sim.Run(vms, cfg)
+	run := func(policy, governor string) *dcsim.Result {
+		res, err := dcsim.Run(context.Background(), dcsim.New(
+			dcsim.WithPolicy(policy),
+			dcsim.WithGovernor(governor),
+		))
 		if err != nil {
-			panic(fmt.Sprintf("%s: %v", name, err))
+			panic(fmt.Sprintf("%s: %v", policy, err))
 		}
 		return res
 	}
 
-	bfd := run("bfd", func(c *sim.Config) {
-		c.Policy = place.BFD{}
-		c.Governor = sim.WorstCase{}
-	})
-	pcp := run("pcp", func(c *sim.Config) {
-		c.Policy = place.PCP{}
-		c.Governor = sim.WorstCase{}
-	})
-	prop := run("corr", func(c *sim.Config) {
-		m := core.NewCostMatrix(len(vms), 1)
-		c.Matrix = m
-		c.Policy = &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
-		c.Governor = sim.CorrAware{Matrix: m}
-	})
+	bfd := run("bfd", "worst-case")
+	pcp := run("pcp", "worst-case")
+	prop := run("corr-aware", "eqn4")
 
-	t := report.NewTable("policy", "normalized power", "max violations (%)", "mean active servers")
+	t := dcsim.NewTable("policy", "normalized power", "max violations (%)", "mean active servers")
 	for _, r := range []struct {
 		name string
-		res  *sim.Result
+		res  *dcsim.Result
 	}{{"BFD", bfd}, {"PCP", pcp}, {"Proposed", prop}} {
 		t.AddRow(r.name,
 			fmt.Sprintf("%.3f", r.res.NormalizedPower(bfd)),

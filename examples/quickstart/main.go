@@ -1,93 +1,69 @@
-// Quickstart: the smallest end-to-end use of the library.
+// Quickstart: the smallest end-to-end use of the public pkg/dcsim API.
 //
-// Build six VMs with known demand shapes (three anti-phased pairs), feed
-// their utilization samples into the streaming correlation matrix, run the
-// paper's correlation-aware allocator, and pick a frequency level per
-// server with Eqn 4. Compare the plan against best-fit-decreasing.
+// Build a scenario with functional options over the Setup-2 defaults,
+// stream per-period metrics through an Observer while it runs, and compare
+// the correlation-aware policy against best-fit-decreasing — both selected
+// from the registry by name.
 package main
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"time"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/place"
-	"repro/internal/server"
-	"repro/internal/trace"
+	"repro/pkg/dcsim"
 )
 
 func main() {
-	// Six VMs: pairs (A1,A2), (B1,B2), (C1,C2) peak at three different
-	// phases of a one-hour cycle, 3.5 cores at peak and 0.5 at trough.
-	const samples = 720 // one hour of 5-second samples
-	names := []string{"A1", "A2", "B1", "B2", "C1", "C2"}
-	demands := make([]*trace.Series, len(names))
-	for v := range names {
-		phase := float64(v/2) * 2 * math.Pi / 3
-		s := trace.New(5*time.Second, samples)
-		for k := 0; k < samples; k++ {
-			x := 2*math.Pi*float64(k)/samples + phase
-			s.Append(2 + 1.5*math.Sin(x))
-		}
-		demands[v] = s
-	}
+	fmt.Println("registered policies:  ", strings.Join(dcsim.Policies(), ", "))
+	fmt.Println("registered governors: ", strings.Join(dcsim.Governors(), ", "))
+	fmt.Println("registered predictors:", strings.Join(dcsim.Predictors(), ", "))
+	fmt.Println()
 
-	// UPDATE phase: stream every sample into the cost matrix. Each
-	// update is O(1) per pair — this is the monitoring loop that would
-	// run inside the hypervisor manager.
-	matrix := core.NewCostMatrix(len(names), 1)
-	sample := make([]float64, len(names))
-	for k := 0; k < samples; k++ {
-		for v := range demands {
-			sample[v] = demands[v].At(k)
-		}
-		matrix.Add(sample)
-	}
+	// A small scenario: 16 VMs in 4 correlated groups over 6 hours,
+	// consolidated hourly onto at most 8 servers.
+	sc := dcsim.New(
+		dcsim.WithVMs(16),
+		dcsim.WithGroups(4),
+		dcsim.WithHours(6),
+		dcsim.WithMaxServers(8),
+		dcsim.WithSeed(1),
+	)
 
-	fmt.Println("pairwise correlation costs (Eqn 1; higher = safer to co-locate):")
-	for i := range names {
-		for j := i + 1; j < len(names); j++ {
-			fmt.Printf("  cost(%s,%s) = %.2f\n", names[i], names[j], matrix.Cost(i, j))
-		}
-	}
+	// Observers stream metrics while the run is in flight; a context
+	// would let us stop it early (see the README's cancellation example).
+	live := dcsim.PeriodFunc(func(p dcsim.Period) {
+		fmt.Printf("  period %d: %d active servers, %.1f kJ, max viol %.1f%%\n",
+			p.Period, p.ActiveServers, p.EnergyJ/1000, p.MaxViolationPct)
+	})
 
-	// ALLOCATE phase: place onto 8-core Xeon E5410 servers.
-	spec := server.XeonE5410()
-	reqs := make([]place.Request, len(names))
-	for v := range names {
-		reqs[v] = place.Request{ID: names[v], Ref: demands[v].Max()}
-	}
-	alloc := &core.Allocator{Config: core.DefaultConfig(), Matrix: matrix}
-	plan, err := alloc.Place(reqs, spec, 4)
+	fmt.Println("correlation-aware run:")
+	corr, err := dcsim.Run(context.Background(), sc, live)
 	if err != nil {
 		panic(err)
 	}
 
-	bfdPlan, err := place.BFD{}.Place(reqs, spec, 4)
+	// Same scenario, baseline policy/governor — two option overrides.
+	bfd, err := dcsim.Run(context.Background(), dcsim.New(
+		dcsim.WithVMs(16),
+		dcsim.WithGroups(4),
+		dcsim.WithHours(6),
+		dcsim.WithMaxServers(8),
+		dcsim.WithSeed(1),
+		dcsim.WithPolicy("bfd"),
+		dcsim.WithGovernor("worst-case"),
+	))
 	if err != nil {
 		panic(err)
 	}
 
-	refs := make([]float64, len(reqs))
-	for i, r := range reqs {
-		refs[i] = r.Ref
+	fmt.Println()
+	t := dcsim.NewTable("policy", "energy (kJ)", "max viol (%)", "mean active")
+	for _, r := range []*dcsim.Result{bfd, corr} {
+		t.AddRow(r.Policy, fmt.Sprintf("%.1f", r.EnergyJ/1000),
+			fmt.Sprintf("%.1f", r.MaxViolationPct), fmt.Sprintf("%.1f", r.MeanActive))
 	}
-	show := func(title string, p *place.Placement, costFn core.PairCostFunc) {
-		fmt.Printf("\n%s (%d servers):\n", title, p.Active())
-		for s := 0; s < p.NumServers; s++ {
-			members := p.VMsOn(s)
-			if len(members) == 0 {
-				continue
-			}
-			f := core.FreqForServer(members, refs, costFn, spec)
-			fmt.Printf("  server%d @ %.1f GHz:", s+1, f)
-			for _, v := range members {
-				fmt.Printf(" %s(û=%.1f)", names[v], refs[v])
-			}
-			fmt.Printf("  cost=%.2f\n", core.ServerCost(members, refs, costFn))
-		}
-	}
-	show("correlation-aware placement", plan, matrix.Cost)
-	show("best-fit decreasing (worst-case frequencies)", bfdPlan, func(i, j int) float64 { return 1 })
+	fmt.Print(t)
+	fmt.Printf("\ncorrelation-aware consolidation uses %.3fx the baseline's energy\n",
+		corr.NormalizedPower(bfd))
 }

@@ -1,36 +1,33 @@
-// Websearch reproduces the paper's Setup 1 interactively: two CloudSuite-
-// style search clusters (front-end + 2 ISNs each) on two 8-core servers,
-// comparing the three placements of Fig. 4 and the frequency trade of
-// Fig. 5.
+// Websearch reproduces the paper's Setup 1 through the façade: two
+// CloudSuite-style search clusters (front-end + 2 ISNs each) on two 8-core
+// servers, comparing the three placements of Fig. 4 — selected by registry
+// name — and the frequency trade of Fig. 5.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/report"
-	"repro/internal/websearch"
+	"repro/pkg/dcsim"
 )
 
 func main() {
-	cfg := websearch.DefaultConfig()
 	fmt.Println("Two web-search clusters, client waves 0..300 (sine / cosine), 20 min")
 	fmt.Println()
 
-	type run struct {
-		pl    *websearch.Placement
-		label string
-	}
 	fmax, fmin := 2.1, 1.9
-	runs := []run{
-		{websearch.Segregated(1), "Segregated @2.1GHz"},
-		{websearch.SharedUnCorr(1), "Shared-UnCorr @2.1GHz"},
-		{websearch.SharedCorr(1), "Shared-Corr @2.1GHz"},
-		{websearch.SharedCorr(fmin / fmax), "Shared-Corr @1.9GHz"},
+	runs := []struct {
+		ws    dcsim.WebSearchScenario
+		label string
+	}{
+		{dcsim.WebSearchScenario{Placement: "segregated", Speed: 1}, "Segregated @2.1GHz"},
+		{dcsim.WebSearchScenario{Placement: "shared-uncorr", Speed: 1}, "Shared-UnCorr @2.1GHz"},
+		{dcsim.WebSearchScenario{Placement: "shared-corr", Speed: 1}, "Shared-Corr @2.1GHz"},
+		{dcsim.WebSearchScenario{Placement: "shared-corr", Speed: fmin / fmax}, "Shared-Corr @1.9GHz"},
 	}
 
-	t := report.NewTable("placement", "p90 C1 (s)", "p90 C2 (s)", "peak server util")
+	t := dcsim.NewTable("placement", "p90 C1 (s)", "p90 C2 (s)", "peak server util")
 	for _, r := range runs {
-		res, err := websearch.Run(cfg, r.pl)
+		res, err := dcsim.RunWebSearch(r.ws)
 		if err != nil {
 			panic(err)
 		}

@@ -154,19 +154,30 @@ func (a *Allocator) Place(reqs []place.Request, spec server.Spec, maxServers int
 	}
 	members := make([][]int, nServers)
 
-	// Unallocated VMs in decreasing û order (Fig. 2 line 6).
+	// Unallocated VMs in decreasing û order (Fig. 2 line 6). Allocation
+	// marks VMs in the index-set below instead of splicing the slice (a
+	// linear scan per removal made removals alone O(n²) at 1k+ VMs);
+	// scans skip marked entries, and the slice is compacted — order
+	// preserved, so placements are byte-identical — once half is dead.
 	unalloc := make([]int, len(reqs))
 	for i := range unalloc {
 		unalloc[i] = i
 	}
 	sort.SliceStable(unalloc, func(x, y int) bool { return refs[unalloc[x]] > refs[unalloc[y]] })
 
+	allocated := make([]bool, len(reqs))
+	nUnalloc := len(reqs)
 	remove := func(v int) {
-		for i, u := range unalloc {
-			if u == v {
-				unalloc = append(unalloc[:i], unalloc[i+1:]...)
-				return
+		allocated[v] = true
+		nUnalloc--
+		if nUnalloc*2 < len(unalloc) {
+			keep := unalloc[:0]
+			for _, u := range unalloc {
+				if !allocated[u] {
+					keep = append(keep, u)
+				}
 			}
+			unalloc = keep
 		}
 	}
 
@@ -175,7 +186,7 @@ func (a *Allocator) Place(reqs []place.Request, spec server.Spec, maxServers int
 	if alpha <= 0 || alpha >= 1 {
 		alpha = 0.9
 	}
-	for len(unalloc) > 0 {
+	for nUnalloc > 0 {
 		progress := false
 		// Servers in decreasing remaining-capacity order (lines 10, 18).
 		order := make([]int, len(rem))
@@ -189,6 +200,9 @@ func (a *Allocator) Place(reqs []place.Request, spec server.Spec, maxServers int
 			for {
 				best, bestScore := -1, math.Inf(-1)
 				for _, v := range unalloc {
+					if allocated[v] {
+						continue
+					}
 					if refs[v] > rem[s]+1e-12 {
 						continue
 					}
@@ -209,14 +223,20 @@ func (a *Allocator) Place(reqs []place.Request, spec server.Spec, maxServers int
 				progress = true
 			}
 		}
-		if len(unalloc) == 0 {
+		if nUnalloc == 0 {
 			break
 		}
 		if !progress && th < 1e-3 {
 			// The threshold is fully relaxed and still nothing fits:
 			// this is a pure capacity shortfall. Open another server
 			// when allowed, otherwise overcommit the roomiest one.
-			v := unalloc[0]
+			v := -1
+			for _, u := range unalloc {
+				if !allocated[u] {
+					v = u
+					break
+				}
+			}
 			if len(rem) < maxServers {
 				rem = append(rem, cap-refs[v])
 				members = append(members, []int{v})

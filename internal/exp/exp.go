@@ -6,17 +6,16 @@
 package exp
 
 import (
+	"context"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/place"
 	"repro/internal/power"
-	"repro/internal/predict"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/vmmodel"
 	"repro/internal/websearch"
+	"repro/pkg/dcsim"
 )
 
 // Options scales the experiments: Full() reproduces the paper's setups;
@@ -83,33 +82,23 @@ func (o Options) runPolicy(vms []*vmmodel.VM, kind string, rescaleEvery int) (*s
 }
 
 // runPolicyOracle is runPolicy with optional perfect per-period prediction.
+// Assembly goes through the pkg/dcsim façade: the policy kind maps to
+// registry names, and the façade wires the shared cost matrix when the
+// correlation-aware pair is selected.
 func (o Options) runPolicyOracle(vms []*vmmodel.VM, kind string, rescaleEvery int, oracle bool) (*sim.Result, error) {
-	cfg := sim.Config{
-		Spec:          o.spec(),
-		Power:         o.model(),
-		MaxServers:    o.MaxServers,
-		PeriodSamples: o.PeriodSamples,
-		RescaleEvery:  rescaleEvery,
-		Pctl:          1,
-		Predictor:     predict.LastValue{},
-		Oracle:        oracle,
+	governor := "worst-case"
+	if kind == "corr" {
+		governor = "eqn4"
 	}
-	switch kind {
-	case "bfd":
-		cfg.Policy = place.BFD{}
-		cfg.Governor = sim.WorstCase{}
-	case "pcp":
-		cfg.Policy = place.PCP{}
-		cfg.Governor = sim.WorstCase{}
-	case "corr":
-		m := core.NewCostMatrix(len(vms), 1)
-		cfg.Matrix = m
-		cfg.Policy = &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
-		cfg.Governor = sim.CorrAware{Matrix: m}
-	default:
-		panic("exp: unknown policy kind " + kind)
-	}
-	return sim.Run(vms, cfg)
+	sc := dcsim.New(
+		dcsim.WithPolicy(kind),
+		dcsim.WithGovernor(governor),
+		dcsim.WithMaxServers(o.MaxServers),
+		dcsim.WithPeriodSamples(o.PeriodSamples),
+		dcsim.WithRescaleEvery(rescaleEvery),
+		dcsim.WithOracle(oracle),
+	)
+	return dcsim.RunVMs(context.Background(), vms, sc)
 }
 
 // wsConfig returns the Setup-1 configuration at the chosen horizon.

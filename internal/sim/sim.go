@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -109,6 +110,18 @@ type Config struct {
 	// criticizes in Halder et al. [9]. It bounds how much of the QoS gap
 	// is prediction error.
 	Oracle bool
+	// Ctx, when set, cancels a run between samples: Run returns the
+	// partial Result accumulated up to the cancellation point together
+	// with the context's error. A nil Ctx never cancels.
+	Ctx context.Context
+	// OnSample, when set, is invoked once per simulated sample with that
+	// instant's aggregate stats — the streaming hook pkg/dcsim observers
+	// attach to. It runs on the simulation goroutine; slow callbacks slow
+	// the run.
+	OnSample func(SampleStats)
+	// OnPeriod, when set, is invoked at each period boundary with the
+	// finished period's stats.
+	OnPeriod func(PeriodStats)
 }
 
 func (c *Config) validate(nVMs int) error {
@@ -149,6 +162,15 @@ func (c *Config) validate(nVMs int) error {
 		return fmt.Errorf("sim: matrix tracks %d VMs, run has %d", c.Matrix.N(), nVMs)
 	}
 	return nil
+}
+
+// SampleStats is the per-sample snapshot streamed to Config.OnSample.
+type SampleStats struct {
+	K             int // global sample index in [0, periods*PeriodSamples)
+	Period        int
+	ActiveServers int
+	PowerW        float64 // aggregate power draw at this instant
+	Violations    int     // servers whose demand exceeded capacity at this instant
 }
 
 // PeriodStats summarizes one placement period.
@@ -238,11 +260,30 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 	offHist := make([][]float64, len(vms))  // per-VM per-period off-peak history
 	sample := make([]float64, len(vms))     // scratch: demand at one instant
 	recentRefs := make([]float64, len(vms)) // scratch: per-VM recent-window û
-	var prevAssign []int                    // previous period's placement
+	// Residency accumulates in a per-period scratch merged at each period
+	// boundary, so a cancelled run's partial Result never counts samples
+	// from the aborted period that EnergyJ/Periods exclude.
+	periodResidency := make([][]int, cfg.MaxServers)
+	for s := range periodResidency {
+		periodResidency[s] = make([]int, len(cfg.Spec.Freqs))
+	}
+	var prevAssign []int // previous period's placement
 
 	totalSamples := 0
 	sumActive := 0
 	sumPeriodMaxViol := 0.0
+
+	// finalize computes the run-level aggregates from whatever periods
+	// completed, so a cancelled run still yields a coherent partial Result.
+	finalize := func() {
+		if totalSamples > 0 {
+			res.MeanPowerW = res.EnergyJ / (float64(totalSamples) * interval.Seconds())
+		}
+		if len(res.Periods) > 0 {
+			res.MeanViolationPct = sumPeriodMaxViol / float64(len(res.Periods))
+			res.MeanActive = float64(sumActive) / float64(len(res.Periods))
+		}
+	}
 
 	for p := 0; p < periods; p++ {
 		start := p * cfg.PeriodSamples
@@ -313,10 +354,14 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 			}
 		}
 		prevAssign = append(prevAssign[:0], placement.Assign...)
-		res.TotalMigrations += migrations
 
 		// Per-period accounting.
 		violSamples := make([]int, placement.NumServers)
+		for s := range periodResidency {
+			for l := range periodResidency[s] {
+				periodResidency[s][l] = 0
+			}
+		}
 		periodEnergy := 0.0
 		active := 0
 		for _, ms := range membersOf {
@@ -326,6 +371,12 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 		}
 
 		for k := start; k < end; k++ {
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					finalize()
+					return res, err
+				}
+			}
 			// Dynamic v/f scaling on the rescale boundary.
 			if cfg.RescaleEvery > 0 && k > start && (k-start)%cfg.RescaleEvery == 0 {
 				from := k - cfg.RescaleEvery
@@ -352,6 +403,8 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 			for i, v := range vms {
 				sample[i] = v.Demand.At(k)
 			}
+			samplePower := 0.0
+			sampleViol := 0
 			for s, ms := range membersOf {
 				if len(ms) == 0 {
 					continue // consolidated off: no power, no violations
@@ -363,22 +416,38 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 				capF := cfg.Spec.CapacityAt(freqs[s])
 				if demand > capF+1e-9 {
 					violSamples[s]++
+					sampleViol++
 				}
 				u := demand / capF
 				pw, err := cfg.Power.Power(u, freqs[s])
 				if err != nil {
 					return nil, fmt.Errorf("sim: period %d server %d: %w", p, s, err)
 				}
-				periodEnergy += pw * interval.Seconds()
-				if li := cfg.Spec.LevelIndex(freqs[s]); li >= 0 && s < len(res.FreqResidency) {
-					res.FreqResidency[s][li]++
+				samplePower += pw
+				if li := cfg.Spec.LevelIndex(freqs[s]); li >= 0 && s < len(periodResidency) {
+					periodResidency[s][li]++
 				}
 			}
+			periodEnergy += samplePower * interval.Seconds()
 			if cfg.Matrix != nil {
 				cfg.Matrix.Add(sample)
 			}
+			if cfg.OnSample != nil {
+				cfg.OnSample(SampleStats{
+					K:             k,
+					Period:        p,
+					ActiveServers: active,
+					PowerW:        samplePower,
+					Violations:    sampleViol,
+				})
+			}
 		}
 
+		for s := range periodResidency {
+			for l, c := range periodResidency[s] {
+				res.FreqResidency[s][l] += c
+			}
+		}
 		maxViol := 0.0
 		for s := range violSamples {
 			if len(membersOf[s]) == 0 {
@@ -389,13 +458,20 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 				maxViol = v
 			}
 		}
-		res.Periods = append(res.Periods, PeriodStats{
+		ps := PeriodStats{
 			Period:          p,
 			ActiveServers:   active,
 			EnergyJ:         periodEnergy,
 			MaxViolationPct: maxViol,
 			Migrations:      migrations,
-		})
+		}
+		res.Periods = append(res.Periods, ps)
+		if cfg.OnPeriod != nil {
+			cfg.OnPeriod(ps)
+		}
+		// Accumulated here, not at placement time, so a cancelled run's
+		// TotalMigrations matches the sum over the completed Periods.
+		res.TotalMigrations += migrations
 		res.EnergyJ += periodEnergy
 		if maxViol > res.MaxViolationPct {
 			res.MaxViolationPct = maxViol
@@ -411,9 +487,7 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 		}
 	}
 
-	res.MeanPowerW = res.EnergyJ / (float64(totalSamples) * interval.Seconds())
-	res.MeanViolationPct = sumPeriodMaxViol / float64(periods)
-	res.MeanActive = float64(sumActive) / float64(periods)
+	finalize()
 	return res, nil
 }
 

@@ -1,0 +1,183 @@
+// Package dcsim is the public façade over the DATE'13 correlation-aware
+// consolidation reproduction. It is the one way to assemble and run
+// simulations: describe a run as a JSON-serializable Scenario (or build one
+// with New and functional options), select components by registry name, and
+// execute it with Run — optionally streaming per-sample metrics to
+// Observers and cancelling early through a context.
+//
+//	sc := dcsim.New(dcsim.WithPolicy("bfd"), dcsim.WithSeed(7))
+//	res, err := dcsim.Run(context.Background(), sc)
+//
+// The internal packages (core, place, sim, exp, …) stay internal; cmd/
+// binaries and examples/ wire everything through this package.
+package dcsim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/vmmodel"
+)
+
+// Result aggregates a finished (or cancelled) run. It is the simulator's
+// result type re-exported as the façade's stable name.
+type Result = sim.Result
+
+// VM is one simulated virtual machine with its demand trace.
+type VM = vmmodel.VM
+
+// Dataset is a generated set of named VM demand traces at coarse and fine
+// granularity.
+type Dataset = synth.Dataset
+
+// Series is a fixed-interval time series of utilization samples.
+type Series = trace.Series
+
+// GenerateTraces synthesizes the demand traces a Workload describes,
+// deterministically in the workload's seed.
+func GenerateTraces(w Workload) (*Dataset, error) {
+	if w.Kind == "" {
+		w.Kind = "datacenter"
+	}
+	cfg := synth.DefaultDatacenterConfig()
+	if w.VMs > 0 {
+		cfg.VMs = w.VMs
+	}
+	if w.Groups > 0 {
+		cfg.Groups = w.Groups
+	}
+	if w.Hours > 0 {
+		cfg.Day = time.Duration(w.Hours) * time.Hour
+	}
+	if w.Seed != 0 {
+		cfg.Seed = w.Seed
+	}
+	switch w.Kind {
+	case "datacenter":
+		return synth.Datacenter(cfg), nil
+	case "uncorrelated":
+		return synth.Uncorrelated(cfg), nil
+	default:
+		return nil, fmt.Errorf("dcsim: unknown workload kind %q (have datacenter, uncorrelated)", w.Kind)
+	}
+}
+
+// VMsFor synthesizes the fine-grained VM population a Workload describes.
+// It is the local workload backend; RunVMs accepts any VM population, which
+// is the seam remote trace sources plug into.
+func VMsFor(w Workload) ([]*VM, error) {
+	ds, err := GenerateTraces(w)
+	if err != nil {
+		return nil, err
+	}
+	return vmmodel.FromSeries(ds.Names, ds.Fine), nil
+}
+
+// Run assembles and executes a scenario end to end: synthesize the
+// workload, resolve every component from the registries, and simulate.
+// Observers stream per-sample and per-period metrics while the run is in
+// flight. Cancelling ctx stops the run between samples and returns the
+// partial Result accumulated so far alongside the context's error.
+func Run(ctx context.Context, sc Scenario, obs ...Observer) (*Result, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	// Check every registry name before synthesizing the workload, so a
+	// typo fails fast instead of after generating thousands of traces.
+	if err := sc.lookupErr(); err != nil {
+		return nil, err
+	}
+	vms, err := VMsFor(sc.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return runResolved(ctx, vms, sc, obs)
+}
+
+// lookupErr reports the first unknown registry name in the scenario
+// without instantiating anything.
+func (s Scenario) lookupErr() error {
+	if _, err := serverReg.Lookup(s.Server); err != nil {
+		return err
+	}
+	if _, err := policyReg.Lookup(s.Policy); err != nil {
+		return err
+	}
+	if _, err := governorReg.Lookup(s.Governor); err != nil {
+		return err
+	}
+	_, err := predictorReg.Lookup(s.Predictor)
+	return err
+}
+
+// RunVMs is Run with a caller-supplied VM population instead of the
+// scenario's synthetic workload — the hook for pre-recorded traces and
+// future remote workload backends. The scenario's Workload field is ignored
+// except as documentation of intent.
+func RunVMs(ctx context.Context, vms []*VM, sc Scenario, obs ...Observer) (*Result, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return runResolved(ctx, vms, sc, obs)
+}
+
+// runResolved assembles and runs a scenario whose defaults are already
+// applied and validated.
+func runResolved(ctx context.Context, vms []*VM, sc Scenario, obs []Observer) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &Build{Scenario: sc, NVMs: len(vms)}
+	model, err := LookupServer(sc.Server)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := NewPolicy(sc.Policy, b)
+	if err != nil {
+		return nil, err
+	}
+	governor, err := NewGovernor(sc.Governor, b)
+	if err != nil {
+		return nil, err
+	}
+	predictor, err := NewPredictor(sc.Predictor, b)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := sim.Config{
+		Spec:             model.Spec,
+		Power:            model.Power,
+		Policy:           policy,
+		Governor:         governor,
+		MaxServers:       sc.MaxServers,
+		PeriodSamples:    sc.PeriodSamples,
+		RescaleEvery:     sc.RescaleEvery,
+		Pctl:             sc.Pctl,
+		OffPctl:          sc.OffPctl,
+		Predictor:        predictor,
+		Matrix:           b.matrix, // nil unless some component asked for it
+		CumulativeMatrix: sc.CumulativeMatrix,
+		Oracle:           sc.Oracle,
+		Ctx:              ctx,
+	}
+	if len(obs) > 0 {
+		cfg.OnSample = func(s Sample) {
+			for _, o := range obs {
+				o.OnSample(s)
+			}
+		}
+		cfg.OnPeriod = func(p Period) {
+			for _, o := range obs {
+				o.OnPeriod(p)
+			}
+		}
+	}
+	return sim.Run(vms, cfg)
+}

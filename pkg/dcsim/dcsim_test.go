@@ -1,0 +1,240 @@
+package dcsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/place"
+)
+
+// smallOpts is a fast two-period scenario shared by the tests.
+func smallOpts() []Option {
+	return []Option{
+		WithVMs(8),
+		WithGroups(2),
+		WithHours(2),
+		WithMaxServers(6),
+		WithSeed(3),
+	}
+}
+
+// TestGoldenDeterminism: the same Scenario and seed must yield
+// byte-identical results, including through a JSON round trip of the
+// scenario itself (the config-file path).
+func TestGoldenDeterminism(t *testing.T) {
+	sc := New(smallOpts()...)
+	first, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, got) {
+		t.Fatalf("re-running the same scenario changed the result:\n%s\nvs\n%s", golden, got)
+	}
+
+	// Round-trip the scenario through its JSON form.
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := Run(context.Background(), parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = json.Marshal(viaJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, got) {
+		t.Fatalf("JSON-round-tripped scenario changed the result:\n%s\nvs\n%s", golden, got)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	for _, want := range []string{"corr-aware", "corr", "ffd", "bfd", "pcp", "jointvm"} {
+		if _, err := NewPolicy(want, &Build{Scenario: DefaultScenario(), NVMs: 4}); err != nil {
+			t.Errorf("policy %q: %v", want, err)
+		}
+	}
+	for _, want := range []string{"eqn4", "corr-aware", "worst-case"} {
+		if _, err := NewGovernor(want, &Build{Scenario: DefaultScenario(), NVMs: 4}); err != nil {
+			t.Errorf("governor %q: %v", want, err)
+		}
+	}
+	for _, want := range []string{"last-value", "moving-average", "ewma", "max-of"} {
+		if _, err := NewPredictor(want, &Build{Scenario: DefaultScenario(), NVMs: 4}); err != nil {
+			t.Errorf("predictor %q: %v", want, err)
+		}
+	}
+	if _, err := LookupServer("xeon-e5410"); err != nil {
+		t.Errorf("server xeon-e5410: %v", err)
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	b := &Build{Scenario: DefaultScenario(), NVMs: 4}
+	if _, err := NewPolicy("nope", b); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("unknown policy error = %v, want mention of the name", err)
+	}
+	// The error should list the known names so flag typos are self-serve.
+	if _, err := NewGovernor("nope", b); err == nil || !strings.Contains(err.Error(), "worst-case") {
+		t.Errorf("unknown governor error = %v, want the known names listed", err)
+	}
+	if _, err := NewPredictor("nope", b); err == nil {
+		t.Error("unknown predictor did not error")
+	}
+	if _, err := LookupServer("nope"); err == nil {
+		t.Error("unknown server did not error")
+	}
+	if _, err := Run(context.Background(), New(WithPolicy("nope"))); err == nil {
+		t.Error("Run with unknown policy did not error")
+	}
+	if _, err := RunWebSearch(WebSearchScenario{Placement: "nope"}); err == nil {
+		t.Error("unknown web-search placement did not error")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterPolicy did not panic")
+		}
+	}()
+	RegisterPolicy("bfd", func(*Build) (Policy, error) { return nil, nil })
+}
+
+func TestRegisterCustomPolicy(t *testing.T) {
+	RegisterPolicy("ffd-custom-test", func(*Build) (Policy, error) { return place.FFD{}, nil })
+	res, err := Run(context.Background(), New(append(smallOpts(),
+		WithPolicy("ffd-custom-test"), WithGovernor("worst-case"))...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "FFD" {
+		t.Errorf("custom policy ran as %q, want FFD", res.Policy)
+	}
+	found := false
+	for _, n := range Policies() {
+		if n == "ffd-custom-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Policies() does not list the custom registration")
+	}
+}
+
+// TestObserverStreams: a full run must deliver one OnSample per simulated
+// sample and one OnPeriod per period, in order.
+func TestObserverStreams(t *testing.T) {
+	sc := New(smallOpts()...)
+	samples, periods := 0, 0
+	lastK := -1
+	obs := observerPair{
+		sample: func(s Sample) {
+			if s.K <= lastK {
+				t.Fatalf("samples out of order: %d after %d", s.K, lastK)
+			}
+			lastK = s.K
+			samples++
+		},
+		period: func(Period) { periods++ },
+	}
+	res, err := Run(context.Background(), sc, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPeriods := len(res.Periods)
+	if periods != wantPeriods {
+		t.Errorf("OnPeriod fired %d times, want %d", periods, wantPeriods)
+	}
+	if want := wantPeriods * sc.PeriodSamples; samples != want {
+		t.Errorf("OnSample fired %d times, want %d", samples, want)
+	}
+}
+
+// TestObserverCancellation: cancelling the context mid-run stops the
+// simulation early and returns the partial result alongside the error.
+func TestObserverCancellation(t *testing.T) {
+	sc := New(smallOpts()...)
+	full, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Periods) < 2 {
+		t.Fatalf("scenario too short for a cancellation test: %d periods", len(full.Periods))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Run(ctx, sc, PeriodFunc(func(Period) { cancel() }))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if len(res.Periods) == 0 || len(res.Periods) >= len(full.Periods) {
+		t.Errorf("partial result has %d periods, want in [1, %d)", len(res.Periods), len(full.Periods))
+	}
+	if res.EnergyJ <= 0 {
+		t.Error("partial result lost its accumulated energy")
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseScenario([]byte(`{"policy": "bfd", "typo_field": 1}`)); err == nil {
+		t.Error("unknown field did not error")
+	}
+	sc, err := ParseScenario([]byte(`{"policy": "bfd"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unset governor pairs with the named policy: baselines get the
+	// correlation-oblivious worst-case, not the paper's eqn4.
+	if sc.Policy != "bfd" || sc.Governor != "worst-case" || sc.MaxServers != 20 {
+		t.Errorf("sparse scenario not filled with defaults: %+v", sc)
+	}
+	corr, err := ParseScenario([]byte(`{"policy": "corr-aware"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr.Governor != "eqn4" {
+		t.Errorf("corr-aware scenario paired governor %q, want eqn4", corr.Governor)
+	}
+	// The seed default matters for reproducibility: a sparse config must
+	// generate the same traces as New().
+	if sc.Workload.Seed != DefaultScenario().Workload.Seed {
+		t.Errorf("sparse scenario seed = %d, want the default %d",
+			sc.Workload.Seed, DefaultScenario().Workload.Seed)
+	}
+}
+
+// observerPair lets one test watch both callback streams.
+type observerPair struct {
+	sample func(Sample)
+	period func(Period)
+}
+
+func (o observerPair) OnSample(s Sample) { o.sample(s) }
+func (o observerPair) OnPeriod(p Period) { o.period(p) }

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesCoverBuiltins(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range Names() {
+		have[n] = true
+	}
+	for _, n := range append(Artifacts(), Ablations()...) {
+		if !have[n] {
+			t.Errorf("built-in artifact %q missing from Names()", n)
+		}
+	}
+}
+
+func TestRunUnknownName(t *testing.T) {
+	_, err := Run("nope", true)
+	if err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("err = %v, want mention of the unknown name", err)
+	}
+	if !strings.Contains(err.Error(), "fig1") {
+		t.Errorf("err = %v, want the known names listed", err)
+	}
+}
+
+func TestRunQuickArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick artifact still simulates minutes of cluster time")
+	}
+	res, err := Run("fig1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
+		t.Error("artifact rendered empty")
+	}
+}

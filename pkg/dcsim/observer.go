@@ -1,0 +1,41 @@
+package dcsim
+
+import "repro/internal/sim"
+
+// Sample is the per-sample snapshot streamed to observers: one instant of
+// aggregate power, active-server count, and capacity violations.
+type Sample = sim.SampleStats
+
+// Period summarizes one finished placement period.
+type Period = sim.PeriodStats
+
+// Observer receives streaming callbacks while a run is in flight, so long
+// simulations can emit live metrics instead of only a final Result.
+// Callbacks run on the simulation goroutine: a slow observer slows the run,
+// and implementations needing concurrency should hand off to a channel.
+type Observer interface {
+	// OnSample is invoked once per simulated sample.
+	OnSample(Sample)
+	// OnPeriod is invoked at each period boundary.
+	OnPeriod(Period)
+}
+
+// ObserverFunc adapts a per-sample function to the Observer interface,
+// ignoring period boundaries.
+type ObserverFunc func(Sample)
+
+// OnSample implements Observer.
+func (f ObserverFunc) OnSample(s Sample) { f(s) }
+
+// OnPeriod implements Observer.
+func (ObserverFunc) OnPeriod(Period) {}
+
+// PeriodFunc adapts a per-period function to the Observer interface,
+// ignoring individual samples.
+type PeriodFunc func(Period)
+
+// OnSample implements Observer.
+func (PeriodFunc) OnSample(Sample) {}
+
+// OnPeriod implements Observer.
+func (f PeriodFunc) OnPeriod(p Period) { f(p) }

@@ -1,0 +1,162 @@
+package dcsim
+
+import (
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/reg"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// Build carries the per-run state component factories share. Its main job
+// is the lazily created streaming cost matrix: a correlation-aware policy
+// and the Eqn-4 governor must read the same statistics, and the simulator
+// must feed that same instance every sample.
+type Build struct {
+	// Scenario is the scenario being assembled (defaults already applied).
+	Scenario Scenario
+	// NVMs is the number of VMs in the run.
+	NVMs int
+
+	matrix *core.CostMatrix
+}
+
+// Matrix returns the run's shared streaming cost matrix, creating it on
+// first use. Run wires it into the simulator's monitoring loop whenever any
+// component asked for it.
+func (b *Build) Matrix() *core.CostMatrix {
+	if b.matrix == nil {
+		pctl := b.Scenario.Pctl
+		if pctl == 0 {
+			pctl = 1
+		}
+		b.matrix = core.NewCostMatrix(b.NVMs, pctl)
+	}
+	return b.matrix
+}
+
+// Policy is the placement-policy interface, re-exported so registrants can
+// name it through the façade.
+type Policy = place.Policy
+
+// Governor is the frequency-governor interface, re-exported for registrants.
+type Governor = sim.Governor
+
+// Predictor is the workload-predictor interface, re-exported for registrants.
+type Predictor = predict.Predictor
+
+// PolicyFactory builds a placement policy for one run.
+type PolicyFactory func(b *Build) (Policy, error)
+
+// GovernorFactory builds a frequency governor for one run.
+type GovernorFactory func(b *Build) (Governor, error)
+
+// PredictorFactory builds a workload predictor for one run.
+type PredictorFactory func(b *Build) (Predictor, error)
+
+// ServerModel pairs a capacity spec with its power model.
+type ServerModel struct {
+	Spec  server.Spec
+	Power power.Model
+}
+
+var (
+	policyReg    = reg.New[PolicyFactory]("dcsim", "policy")
+	governorReg  = reg.New[GovernorFactory]("dcsim", "governor")
+	predictorReg = reg.New[PredictorFactory]("dcsim", "predictor")
+	serverReg    = reg.New[ServerModel]("dcsim", "server model")
+)
+
+// RegisterPolicy adds a placement policy under a unique name; it panics on
+// empty or duplicate names (registration is init-time configuration).
+func RegisterPolicy(name string, f PolicyFactory) { policyReg.Register(name, f) }
+
+// RegisterGovernor adds a frequency governor under a unique name.
+func RegisterGovernor(name string, f GovernorFactory) { governorReg.Register(name, f) }
+
+// RegisterPredictor adds a workload predictor under a unique name.
+func RegisterPredictor(name string, f PredictorFactory) { predictorReg.Register(name, f) }
+
+// RegisterServer adds a server model under a unique name.
+func RegisterServer(name string, m ServerModel) { serverReg.Register(name, m) }
+
+// Policies lists the registered placement-policy names, sorted.
+func Policies() []string { return policyReg.Names() }
+
+// Governors lists the registered governor names, sorted.
+func Governors() []string { return governorReg.Names() }
+
+// Predictors lists the registered predictor names, sorted.
+func Predictors() []string { return predictorReg.Names() }
+
+// Servers lists the registered server-model names, sorted.
+func Servers() []string { return serverReg.Names() }
+
+// NewPolicy instantiates a registered policy by name for the given build.
+func NewPolicy(name string, b *Build) (place.Policy, error) {
+	f, err := policyReg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(b)
+}
+
+// NewGovernor instantiates a registered governor by name for the given build.
+func NewGovernor(name string, b *Build) (sim.Governor, error) {
+	f, err := governorReg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(b)
+}
+
+// NewPredictor instantiates a registered predictor by name for the given build.
+func NewPredictor(name string, b *Build) (predict.Predictor, error) {
+	f, err := predictorReg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(b)
+}
+
+// LookupServer returns a registered server model by name.
+func LookupServer(name string) (ServerModel, error) { return serverReg.Lookup(name) }
+
+func init() {
+	// Placement policies. "corr" is a convenience alias for the paper's
+	// correlation-aware allocator.
+	corrAware := func(b *Build) (place.Policy, error) {
+		cfg := core.DefaultConfig()
+		if b.Scenario.Pctl > 0 {
+			cfg.Pctl = b.Scenario.Pctl
+		}
+		return &core.Allocator{Config: cfg, Matrix: b.Matrix()}, nil
+	}
+	RegisterPolicy("corr-aware", corrAware)
+	RegisterPolicy("corr", corrAware)
+	RegisterPolicy("ffd", func(*Build) (place.Policy, error) { return place.FFD{}, nil })
+	RegisterPolicy("bfd", func(*Build) (place.Policy, error) { return place.BFD{}, nil })
+	RegisterPolicy("pcp", func(*Build) (place.Policy, error) { return place.PCP{}, nil })
+	RegisterPolicy("jointvm", func(*Build) (place.Policy, error) { return place.JointVM{}, nil })
+
+	// Frequency governors. "corr-aware" aliases the paper's Eqn-4 governor.
+	eqn4 := func(b *Build) (sim.Governor, error) {
+		return sim.CorrAware{Matrix: b.Matrix()}, nil
+	}
+	RegisterGovernor("eqn4", eqn4)
+	RegisterGovernor("corr-aware", eqn4)
+	RegisterGovernor("worst-case", func(*Build) (sim.Governor, error) { return sim.WorstCase{}, nil })
+
+	// Workload predictors (parameters are the paper's/DESIGN.md choices).
+	RegisterPredictor("last-value", func(*Build) (predict.Predictor, error) { return predict.LastValue{}, nil })
+	RegisterPredictor("moving-average", func(*Build) (predict.Predictor, error) { return predict.MovingAverage{K: 3}, nil })
+	RegisterPredictor("ewma", func(*Build) (predict.Predictor, error) { return predict.EWMA{Alpha: 0.5}, nil })
+	RegisterPredictor("max-of", func(*Build) (predict.Predictor, error) { return predict.MaxOf{K: 3}, nil })
+
+	// Server models. The Opteron has no fitted power model in the repo, so
+	// only the Xeon is registered for consolidation runs; the web-search
+	// testbed pins its own hardware.
+	RegisterServer("xeon-e5410", ServerModel{Spec: server.XeonE5410(), Power: power.XeonE5410()})
+}

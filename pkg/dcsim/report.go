@@ -1,0 +1,25 @@
+package dcsim
+
+import (
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// Table is a fixed-width text table for rendering results.
+type Table = report.Table
+
+// NewTable returns a Table with the given column headers.
+func NewTable(headers ...string) *Table { return report.NewTable(headers...) }
+
+// Sparkline renders a series as a unicode sparkline of the given width,
+// scaled to [lo, hi] (hi <= lo autoscales).
+func Sparkline(s *Series, width int, lo, hi float64) string {
+	return report.Sparkline(s, width, lo, hi)
+}
+
+// WriteCSV writes named series as CSV, one column per series.
+func WriteCSV(w io.Writer, names []string, series []*Series) error {
+	return trace.WriteCSV(w, names, series)
+}
