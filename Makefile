@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench
+.PHONY: ci fmt vet build test race bench bench-sweep
 
-ci: fmt vet build test
+ci: fmt vet build test race bench-sweep
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -19,5 +19,17 @@ build:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-sweep is the perf-trajectory smoke: a tiny grid through the sweep
+# engine, timing recorded in BENCH_sweep.json (reports go to a scratch dir).
+bench-sweep:
+	@out=$$(mktemp -d); \
+	$(GO) run ./cmd/dcsim sweep -grid examples/grids/quick-threshold.json \
+		-workers 4 -out $$out -quiet -bench BENCH_sweep.json; \
+	status=$$?; rm -rf $$out; \
+	[ $$status -eq 0 ] && cat BENCH_sweep.json || exit $$status

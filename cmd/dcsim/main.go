@@ -4,6 +4,10 @@
 // Table-II-style results. Scenarios can also be loaded from JSON files
 // (-scenario), and -progress streams per-period metrics while the run is in
 // flight; Ctrl-C cancels the run and prints the partial result.
+//
+// The sweep subcommand ("dcsim sweep -grid file.json") fans a whole grid of
+// scenarios out over a worker pool and writes aggregate JSON and CSV
+// reports; see cmd/dcsim/sweep.go and examples/grids/.
 package main
 
 import (
@@ -21,6 +25,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dcsim: ")
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepMain(os.Args[2:])
+		return
+	}
 	def := dcsim.DefaultScenario()
 	var (
 		scenario  = flag.String("scenario", "", "JSON scenario file (explicitly set flags override it)")

@@ -11,6 +11,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/exp"
 	"repro/pkg/dcsim/experiments"
 )
 
@@ -18,6 +19,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	quick := flag.Bool("quick", false, "run shortened horizons (smoke test)")
+	workers := flag.Int("workers", 1, "sweep-engine parallelism for the ablation studies (results are identical at any count)")
 	only := flag.String("only", "", "comma-separated subset: "+
 		strings.Join(experiments.Names(), ",")+",ablations")
 	flag.Parse()
@@ -44,13 +46,19 @@ func main() {
 			want[a] = true
 		}
 	}
+	o := exp.Full()
+	if *quick {
+		o = exp.Quick()
+	}
+	o.Workers = *workers
+
 	// Iterate the live registry so late registrations run too; built-ins
 	// are registered in the paper's presentation order.
 	for _, name := range experiments.Names() {
 		if !pick(name) {
 			continue
 		}
-		res, err := experiments.Run(name, *quick)
+		res, err := experiments.RunOptions(name, o)
 		if err != nil {
 			log.Printf("%s failed: %v", name, err)
 			os.Exit(1)

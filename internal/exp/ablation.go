@@ -5,13 +5,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/place"
-	"repro/internal/power"
 	"repro/internal/predict"
 	"repro/internal/report"
-	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vmmodel"
+	"repro/pkg/dcsim"
+	"repro/pkg/dcsim/sweep"
 )
 
 // AblationRow is one configuration of an ablation sweep.
@@ -40,8 +40,37 @@ func (r *AblationResult) String() string {
 	return r.Title + "\n" + t.String()
 }
 
+// sweepRows converts a sweep's completed cells into ablation rows (in
+// canonical grid order), normalizing energy against the shared baseline.
+func sweepRows(res *sweep.Result, baselineEnergyJ float64, label func(c sweep.CellResult) string) []AblationRow {
+	rows := make([]AblationRow, 0, len(res.Cells))
+	for _, c := range res.Cells {
+		norm := 0.0
+		if baselineEnergyJ > 0 {
+			norm = c.EnergyJ.Mean / baselineEnergyJ
+		}
+		rows = append(rows, AblationRow{
+			Label:           label(c),
+			NormalizedPower: norm,
+			MaxViolationPct: c.MaxViolationPct.Mean,
+			MeanActive:      c.MeanActive.Mean,
+		})
+	}
+	return rows
+}
+
+// proposedBase is the correlation-aware base scenario the single-axis
+// ablation grids mutate.
+func (o Options) proposedBase() dcsim.Scenario {
+	sc := o.baseScenario()
+	sc.Policy = "corr-aware"
+	return sc
+}
+
 // ablate runs the proposed policy under a mutated configuration, normalized
-// against a shared BFD baseline.
+// against a shared BFD baseline. Only ablation A4 still assembles its run
+// by hand: a custom pair-cost function is not expressible as a Scenario,
+// so it cannot ride the sweep engine like the other studies.
 func (o Options) ablate(vms []*vmmodel.VM, bfd *sim.Result, label string,
 	mutate func(*sim.Config, *core.Allocator)) (AblationRow, error) {
 	m := core.NewCostMatrix(len(vms), 1)
@@ -72,80 +101,77 @@ func (o Options) ablate(vms []*vmmodel.VM, bfd *sim.Result, label string,
 	}, nil
 }
 
-// AblationThreshold sweeps the initial correlation threshold THcost (A1).
+// AblationThreshold sweeps the initial correlation threshold THcost (A1) —
+// pure config on the sweep engine since THcost is a scenario param.
 func AblationThreshold(o Options) (*AblationResult, error) {
-	vms := o.datacenterVMs()
-	bfd, err := o.runPolicy(vms, "bfd", 0)
+	bfd, err := o.baselineBFD()
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Title: "Ablation A1 — initial threshold THcost (alpha=0.9)"}
-	for _, th := range []float64{1.0, 1.1, 1.15, 1.25, 1.4} {
-		th := th
-		row, err := o.ablate(vms, bfd, fmt.Sprintf("THcost=%.2f", th),
-			func(cfg *sim.Config, a *core.Allocator) { a.THCost = th })
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+	res, err := o.runGrid(sweep.Grid{
+		Name: "a1-thcost",
+		Base: o.proposedBase(),
+		Axes: []sweep.Axis{{Field: "param:thcost", Values: []any{1.0, 1.1, 1.15, 1.25, 1.4}}},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationResult{
+		Title: "Ablation A1 — initial threshold THcost (alpha=0.9)",
+		Rows: sweepRows(res, bfd.EnergyJ, func(c sweep.CellResult) string {
+			return fmt.Sprintf("THcost=%.2f", c.Scenario.Params["thcost"])
+		}),
+	}, nil
 }
 
 // AblationReference sweeps the reference percentile û (A2). The matrix and
-// the placement references move together, as in the paper's QoS knob.
+// the placement references move together, as in the paper's QoS knob — the
+// façade wires both from Scenario.Pctl.
 func AblationReference(o Options) (*AblationResult, error) {
-	vms := o.datacenterVMs()
-	bfd, err := o.runPolicy(vms, "bfd", 0)
+	bfd, err := o.baselineBFD()
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Title: "Ablation A2 — reference utilization percentile"}
-	for _, pctl := range []float64{1, 0.99, 0.95, 0.90} {
-		pctl := pctl
-		label := "peak"
-		if pctl < 1 {
-			label = fmt.Sprintf("p%.0f", pctl*100)
-		}
-		row, err := o.ablate(vms, bfd, label, func(cfg *sim.Config, a *core.Allocator) {
-			m := core.NewCostMatrix(len(vms), pctl)
-			cfg.Matrix = m
-			cfg.Pctl = pctl
-			a.Matrix = m
-			a.Pctl = pctl
-			cfg.Governor = sim.CorrAware{Matrix: m}
-		})
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+	res, err := o.runGrid(sweep.Grid{
+		Name: "a2-reference",
+		Base: o.proposedBase(),
+		Axes: []sweep.Axis{{Field: "pctl", Values: []any{1.0, 0.99, 0.95, 0.90}}},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationResult{
+		Title: "Ablation A2 — reference utilization percentile",
+		Rows: sweepRows(res, bfd.EnergyJ, func(c sweep.CellResult) string {
+			if c.Scenario.Pctl >= 1 {
+				return "peak"
+			}
+			return fmt.Sprintf("p%.0f", c.Scenario.Pctl*100)
+		}),
+	}, nil
 }
 
-// AblationPredictor swaps the per-period workload predictor (A3).
+// AblationPredictor swaps the per-period workload predictor (A3) by
+// registry name.
 func AblationPredictor(o Options) (*AblationResult, error) {
-	vms := o.datacenterVMs()
-	bfd, err := o.runPolicy(vms, "bfd", 0)
+	bfd, err := o.baselineBFD()
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Title: "Ablation A3 — workload predictor"}
-	for _, p := range []predict.Predictor{
-		predict.LastValue{},
-		predict.MovingAverage{K: 3},
-		predict.EWMA{Alpha: 0.5},
-		predict.MaxOf{K: 3},
-	} {
-		p := p
-		row, err := o.ablate(vms, bfd, p.Name(),
-			func(cfg *sim.Config, a *core.Allocator) { cfg.Predictor = p })
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+	res, err := o.runGrid(sweep.Grid{
+		Name: "a3-predictor",
+		Base: o.proposedBase(),
+		Axes: []sweep.Axis{{Field: "predictor", Values: []any{"last-value", "moving-average", "ewma", "max-of"}}},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationResult{
+		Title: "Ablation A3 — workload predictor",
+		Rows: sweepRows(res, bfd.EnergyJ, func(c sweep.CellResult) string {
+			return c.Scenario.Predictor
+		}),
+	}, nil
 }
 
 // AblationMetric compares the Eqn-1 cost against windowed Pearson
@@ -207,60 +233,67 @@ func pearsonAffinity(vms []*vmmodel.VM, period int) core.PairCostFunc {
 // AblationMatrixWindow compares per-period matrix resets against cumulative
 // monitoring (A6 — the CumulativeMatrix switch in the simulator).
 func AblationMatrixWindow(o Options) (*AblationResult, error) {
-	vms := o.datacenterVMs()
-	bfd, err := o.runPolicy(vms, "bfd", 0)
+	bfd, err := o.baselineBFD()
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationResult{Title: "Ablation A6 — monitoring window"}
-	for _, cum := range []bool{false, true} {
-		cum := cum
-		label := "per-period reset"
-		if cum {
-			label = "cumulative"
-		}
-		row, err := o.ablate(vms, bfd, label,
-			func(cfg *sim.Config, a *core.Allocator) { cfg.CumulativeMatrix = cum })
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+	res, err := o.runGrid(sweep.Grid{
+		Name: "a6-window",
+		Base: o.proposedBase(),
+		Axes: []sweep.Axis{{Field: "cumulative_matrix", Values: []any{false, true}}},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationResult{
+		Title: "Ablation A6 — monitoring window",
+		Rows: sweepRows(res, bfd.EnergyJ, func(c sweep.CellResult) string {
+			if c.Scenario.CumulativeMatrix {
+				return "cumulative"
+			}
+			return "per-period reset"
+		}),
+	}, nil
 }
 
 // AblationCorrelationStructure runs the proposed policy on traces with no
 // shared group structure (A5's "nothing to exploit" control): its advantage
-// over BFD should shrink toward zero.
+// over BFD should shrink toward zero. The grid crosses the group count
+// (grouped vs one-VM-per-group) with the policy, and each structure's rows
+// normalize against the BFD cell of the same traces.
 func AblationCorrelationStructure(o Options) (*AblationResult, error) {
+	res, err := o.runGrid(sweep.Grid{
+		Name: "a5-structure",
+		Base: o.baseScenario(),
+		Axes: []sweep.Axis{
+			{Field: "groups", Values: []any{o.Datacenter.Groups, o.Datacenter.VMs}},
+			{Field: "policy", Values: []any{"corr-aware", "bfd"}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &AblationResult{Title: "Ablation A5 — correlation structure in the traces"}
-	for _, kind := range []string{"grouped", "uncorrelated"} {
-		dcfg := o.Datacenter
-		if kind == "uncorrelated" {
-			dcfg.Groups = dcfg.VMs
+	for i, kind := range []string{"grouped", "uncorrelated"} {
+		prop, bfd := res.Cell(2*i), res.Cell(2*i+1)
+		if prop == nil || bfd == nil {
+			return nil, fmt.Errorf("exp: A5 %s: sweep cells missing", kind)
 		}
-		opt := o
-		opt.Datacenter = dcfg
-		vms := opt.datacenterVMs()
-		bfd, err := opt.runPolicy(vms, "bfd", 0)
-		if err != nil {
-			return nil, err
-		}
-		prop, err := opt.runPolicy(vms, "corr", 0)
-		if err != nil {
-			return nil, err
+		norm := 0.0
+		if bfd.EnergyJ.Mean > 0 {
+			norm = prop.EnergyJ.Mean / bfd.EnergyJ.Mean
 		}
 		out.Rows = append(out.Rows, AblationRow{
 			Label:           kind,
-			NormalizedPower: prop.NormalizedPower(bfd),
-			MaxViolationPct: prop.MaxViolationPct,
-			MeanActive:      prop.MeanActive,
+			NormalizedPower: norm,
+			MaxViolationPct: prop.MaxViolationPct.Mean,
+			MeanActive:      prop.MeanActive.Mean,
 		})
 		out.Rows = append(out.Rows, AblationRow{
 			Label:           kind + " (BFD ref)",
 			NormalizedPower: 1,
-			MaxViolationPct: bfd.MaxViolationPct,
-			MeanActive:      bfd.MeanActive,
+			MaxViolationPct: bfd.MaxViolationPct.Mean,
+			MeanActive:      bfd.MeanActive.Mean,
 		})
 	}
 	return out, nil
@@ -273,50 +306,36 @@ func BaselinePolicies() []place.Policy {
 
 // AblationLevels compares the two-level E5410 against a hypothetical
 // six-level part (A7): finer DVFS quantization lets Eqn 4 convert more of
-// the correlation headroom into power savings.
+// the correlation headroom into power savings. The grid crosses the server
+// model with the policy; each hardware's row normalizes against the BFD
+// cell on the same hardware.
 func AblationLevels(o Options) (*AblationResult, error) {
-	vms := o.datacenterVMs()
+	res, err := o.runGrid(sweep.Grid{
+		Name: "a7-levels",
+		Base: o.baseScenario(),
+		Axes: []sweep.Axis{
+			{Field: "server", Values: []any{"xeon-e5410", "xeon-6level"}},
+			{Field: "policy", Values: []any{"bfd", "corr-aware"}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &AblationResult{Title: "Ablation A7 — DVFS level granularity"}
-	for _, hw := range []struct {
-		label string
-		spec  server.Spec
-		model power.Model
-	}{
-		{"2 levels (E5410)", server.XeonE5410(), power.XeonE5410()},
-		{"6 levels", server.XeonFineGrained(), power.XeonFineGrained()},
-	} {
-		// BFD baseline and proposed on the same hardware.
-		mkCfg := func() sim.Config {
-			return sim.Config{
-				Spec:          hw.spec,
-				Power:         hw.model,
-				MaxServers:    o.MaxServers,
-				PeriodSamples: o.PeriodSamples,
-				Pctl:          1,
-				Predictor:     predict.LastValue{},
-			}
+	for i, label := range []string{"2 levels (E5410)", "6 levels"} {
+		bfd, prop := res.Cell(2*i), res.Cell(2*i+1)
+		if bfd == nil || prop == nil {
+			return nil, fmt.Errorf("exp: A7 %s: sweep cells missing", label)
 		}
-		bfdCfg := mkCfg()
-		bfdCfg.Policy = place.BFD{}
-		bfdCfg.Governor = sim.WorstCase{}
-		bfd, err := sim.Run(vms, bfdCfg)
-		if err != nil {
-			return nil, fmt.Errorf("exp: A7 %s bfd: %w", hw.label, err)
-		}
-		m := core.NewCostMatrix(len(vms), 1)
-		propCfg := mkCfg()
-		propCfg.Matrix = m
-		propCfg.Policy = &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
-		propCfg.Governor = sim.CorrAware{Matrix: m}
-		prop, err := sim.Run(vms, propCfg)
-		if err != nil {
-			return nil, fmt.Errorf("exp: A7 %s prop: %w", hw.label, err)
+		norm := 0.0
+		if bfd.EnergyJ.Mean > 0 {
+			norm = prop.EnergyJ.Mean / bfd.EnergyJ.Mean
 		}
 		out.Rows = append(out.Rows, AblationRow{
-			Label:           hw.label,
-			NormalizedPower: prop.NormalizedPower(bfd),
-			MaxViolationPct: prop.MaxViolationPct,
-			MeanActive:      prop.MeanActive,
+			Label:           label,
+			NormalizedPower: norm,
+			MaxViolationPct: prop.MaxViolationPct.Mean,
+			MeanActive:      prop.MeanActive.Mean,
 		})
 	}
 	return out, nil
@@ -324,34 +343,29 @@ func AblationLevels(o Options) (*AblationResult, error) {
 
 // AblationOracle quantifies how much of the violation gap is prediction
 // error (A8): both BFD and the proposed policy with last-value prediction
-// versus a per-period oracle.
+// versus a per-period oracle, as a policy × oracle grid normalized against
+// the BFD/last-value cell.
 func AblationOracle(o Options) (*AblationResult, error) {
-	vms := o.datacenterVMs()
-	out := &AblationResult{Title: "Ablation A8 — prediction error vs placement"}
-	bfdLV, err := o.runPolicy(vms, "bfd", 0)
+	res, err := o.runGrid(sweep.Grid{
+		Name: "a8-oracle",
+		Base: o.baseScenario(),
+		Axes: []sweep.Axis{
+			{Field: "policy", Values: []any{"bfd", "corr-aware"}},
+			{Field: "oracle", Values: []any{false, true}},
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range []struct {
-		label  string
-		kind   string
-		oracle bool
-	}{
-		{"BFD last-value", "bfd", false},
-		{"BFD oracle", "bfd", true},
-		{"Proposed last-value", "corr", false},
-		{"Proposed oracle", "corr", true},
-	} {
-		res, err := o.runPolicyOracle(vms, c.kind, 0, c.oracle)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, AblationRow{
-			Label:           c.label,
-			NormalizedPower: res.NormalizedPower(bfdLV),
-			MaxViolationPct: res.MaxViolationPct,
-			MeanActive:      res.MeanActive,
-		})
+	baseline := res.Cell(0)
+	if baseline == nil {
+		return nil, fmt.Errorf("exp: A8: baseline cell missing")
 	}
-	return out, nil
+	labels := []string{"BFD last-value", "BFD oracle", "Proposed last-value", "Proposed oracle"}
+	return &AblationResult{
+		Title: "Ablation A8 — prediction error vs placement",
+		Rows: sweepRows(res, baseline.EnergyJ.Mean, func(c sweep.CellResult) string {
+			return labels[c.Index]
+		}),
+	}, nil
 }

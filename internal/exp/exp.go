@@ -16,6 +16,7 @@ import (
 	"repro/internal/vmmodel"
 	"repro/internal/websearch"
 	"repro/pkg/dcsim"
+	"repro/pkg/dcsim/sweep"
 )
 
 // Options scales the experiments: Full() reproduces the paper's setups;
@@ -35,6 +36,10 @@ type Options struct {
 	CacheWarmKI, CacheMeasKI int
 	// Fig3Groups is the number of random VM groups sampled for Fig. 3.
 	Fig3Groups int
+	// Workers bounds the sweep-engine parallelism of the ablation
+	// studies; 0 runs them serially. Results are identical at any
+	// setting — the sweep merge is deterministic.
+	Workers int
 }
 
 // Full reproduces the paper's published setups: 24 h of 40 VMs over 20
@@ -73,6 +78,44 @@ func (o Options) wsSpec() server.Spec { return server.OpteronR815() }
 func (o Options) datacenterVMs() []*vmmodel.VM {
 	ds := synth.Datacenter(o.Datacenter)
 	return vmmodel.FromSeries(ds.Names, ds.Fine)
+}
+
+// baseScenario maps the Setup-2 options onto a façade scenario. For the
+// Full/Quick option sets this reproduces datacenterVMs() exactly: both
+// start from synth.DefaultDatacenterConfig and override only the
+// VM/group/horizon/seed knobs a Workload carries.
+func (o Options) baseScenario() dcsim.Scenario {
+	return dcsim.Scenario{
+		Workload: dcsim.Workload{
+			Kind:   "datacenter",
+			VMs:    o.Datacenter.VMs,
+			Groups: o.Datacenter.Groups,
+			Hours:  int(o.Datacenter.Day / time.Hour),
+			Seed:   o.Datacenter.Seed,
+		},
+		MaxServers:    o.MaxServers,
+		PeriodSamples: o.PeriodSamples,
+		Pctl:          1,
+	}
+}
+
+// runGrid executes an ablation grid on the sweep engine at the configured
+// parallelism. Aggregates are deterministic regardless of Workers, so the
+// serial (Workers <= 1) and fanned-out ablations publish identical rows.
+func (o Options) runGrid(g sweep.Grid) (*sweep.Result, error) {
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return sweep.Run(context.Background(), g, sweep.Options{Workers: workers})
+}
+
+// baselineBFD runs the shared BFD reference the ablation rows normalize
+// against, on the same synthesized traces the grid cells use.
+func (o Options) baselineBFD() (*sim.Result, error) {
+	sc := o.baseScenario()
+	sc.Policy = "bfd"
+	return dcsim.Run(context.Background(), sc)
 }
 
 // runPolicy executes one Setup-2 simulation. kind selects the policy:

@@ -33,7 +33,11 @@ type Fig3Result struct {
 // axes over one placement period.
 func Fig3(o Options) (*Fig3Result, error) {
 	ds := synth.Datacenter(o.Datacenter)
-	rng := rand.New(rand.NewSource(17))
+	// The group-sampling rng derives from the run's trace seed (offset so
+	// it does not replay the generator's own stream): sweep replicas at
+	// different seeds sample different groups, instead of all replaying
+	// one hardcoded draw.
+	rng := rand.New(rand.NewSource(o.Datacenter.Seed + 0x5EED))
 	period := o.PeriodSamples
 	nVM := len(ds.Fine)
 

@@ -45,6 +45,51 @@ func (r *Running) Variance() float64 {
 // StdDev returns the population standard deviation.
 func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 
+// SampleVariance returns the Bessel-corrected (n-1) variance, the unbiased
+// estimator confidence intervals are built on. It is 0 for fewer than two
+// observations.
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// SampleStdDev returns the Bessel-corrected standard deviation.
+func (r *Running) SampleStdDev() float64 { return math.Sqrt(r.SampleVariance()) }
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom; beyond that the normal approximation is within half a percent.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for the given
+// degrees of freedom (1.96, the normal value, beyond the tabulated range).
+func TCrit95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.96
+}
+
+// MeanCI95 returns the half-width of the 95% confidence interval of the
+// mean, using the Student-t critical value for the sample size. It is 0 for
+// fewer than two observations (a single replica carries no spread
+// information), which keeps single-run sweep cells honest: mean equals the
+// observation and the interval collapses.
+func (r *Running) MeanCI95() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return TCrit95(r.n-1) * r.SampleStdDev() / math.Sqrt(float64(r.n))
+}
+
 // Pearson accumulates the Pearson product-moment correlation of a stream of
 // (x, y) pairs in O(1) space. The zero value is ready to use.
 //

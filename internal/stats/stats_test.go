@@ -28,6 +28,49 @@ func TestRunningMoments(t *testing.T) {
 	}
 }
 
+func TestRunningCI95(t *testing.T) {
+	var r Running
+	// Fewer than two observations: no spread information, interval 0.
+	if r.MeanCI95() != 0 {
+		t.Fatalf("empty CI95 = %v, want 0", r.MeanCI95())
+	}
+	r.Add(3)
+	if r.MeanCI95() != 0 || r.SampleStdDev() != 0 {
+		t.Fatalf("single-sample CI95 = %v, stddev = %v, want 0, 0", r.MeanCI95(), r.SampleStdDev())
+	}
+	// {1,2,3,4}: sample variance 5/3, half-width t(3)·s/√4.
+	var q Running
+	for _, x := range []float64{1, 2, 3, 4} {
+		q.Add(x)
+	}
+	sd := q.SampleStdDev()
+	if !approx(sd, math.Sqrt(5.0/3.0), 1e-9) {
+		t.Fatalf("sample stddev = %v, want sqrt(5/3)", sd)
+	}
+	want := 3.182 * sd / 2
+	if got := q.MeanCI95(); !approx(got, want, 1e-9) {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	if TCrit95(0) != 0 {
+		t.Fatal("df=0 must yield 0")
+	}
+	if TCrit95(1) != 12.706 {
+		t.Fatalf("df=1 = %v", TCrit95(1))
+	}
+	if TCrit95(1000) != 1.96 {
+		t.Fatalf("large df = %v, want normal 1.96", TCrit95(1000))
+	}
+	// The table must be monotonically decreasing toward the normal value.
+	for df := 2; df <= 40; df++ {
+		if TCrit95(df) > TCrit95(df-1) {
+			t.Fatalf("t-crit not decreasing at df=%d", df)
+		}
+	}
+}
+
 func TestRunningEmpty(t *testing.T) {
 	var r Running
 	if r.Mean() != 0 || r.Variance() != 0 {

@@ -37,9 +37,22 @@ type Dataset = synth.Dataset
 // Series is a fixed-interval time series of utilization samples.
 type Series = trace.Series
 
+// kindErr reports an unknown workload kind; the empty kind means the
+// default "datacenter".
+func (w Workload) kindErr() error {
+	switch w.Kind {
+	case "", "datacenter", "uncorrelated":
+		return nil
+	}
+	return fmt.Errorf("dcsim: unknown workload kind %q (have datacenter, uncorrelated)", w.Kind)
+}
+
 // GenerateTraces synthesizes the demand traces a Workload describes,
 // deterministically in the workload's seed.
 func GenerateTraces(w Workload) (*Dataset, error) {
+	if err := w.kindErr(); err != nil {
+		return nil, err
+	}
 	if w.Kind == "" {
 		w.Kind = "datacenter"
 	}
@@ -56,14 +69,10 @@ func GenerateTraces(w Workload) (*Dataset, error) {
 	if w.Seed != 0 {
 		cfg.Seed = w.Seed
 	}
-	switch w.Kind {
-	case "datacenter":
-		return synth.Datacenter(cfg), nil
-	case "uncorrelated":
+	if w.Kind == "uncorrelated" {
 		return synth.Uncorrelated(cfg), nil
-	default:
-		return nil, fmt.Errorf("dcsim: unknown workload kind %q (have datacenter, uncorrelated)", w.Kind)
 	}
+	return synth.Datacenter(cfg), nil
 }
 
 // VMsFor synthesizes the fine-grained VM population a Workload describes.
@@ -97,6 +106,37 @@ func Run(ctx context.Context, sc Scenario, obs ...Observer) (*Result, error) {
 		return nil, err
 	}
 	return runResolved(ctx, vms, sc, obs)
+}
+
+// CheckScenario validates a scenario the way Run would — structural checks
+// plus registry-name lookups — without synthesizing a workload or running
+// anything. Sweep drivers use it to fail a whole grid fast on the first
+// typo instead of deep into a fan-out.
+func CheckScenario(sc Scenario) error {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if err := sc.lookupErr(); err != nil {
+		return err
+	}
+	if err := sc.Workload.kindErr(); err != nil {
+		return err
+	}
+	// Dry-assemble the components so unknown scenario params fail here
+	// too. The VM count only sizes the shared cost matrix, which params
+	// consumption does not depend on, so keep it tiny.
+	b := &Build{Scenario: sc, NVMs: 2}
+	if _, err := NewPolicy(sc.Policy, b); err != nil {
+		return err
+	}
+	if _, err := NewGovernor(sc.Governor, b); err != nil {
+		return err
+	}
+	if _, err := NewPredictor(sc.Predictor, b); err != nil {
+		return err
+	}
+	return b.unusedParamErr()
 }
 
 // lookupErr reports the first unknown registry name in the scenario
@@ -148,6 +188,12 @@ func runResolved(ctx context.Context, vms []*VM, sc Scenario, obs []Observer) (*
 	}
 	predictor, err := NewPredictor(sc.Predictor, b)
 	if err != nil {
+		return nil, err
+	}
+	// Every factory has run; params nothing consumed are configuration
+	// errors (a typo, or a knob for a component this scenario does not
+	// select), not silently ignored defaults.
+	if err := b.unusedParamErr(); err != nil {
 		return nil, err
 	}
 

@@ -33,13 +33,20 @@ func Names() []string { return registry.Ordered() }
 // Run regenerates one artifact by name. quick shrinks horizons for smoke
 // runs while exercising the same code paths.
 func Run(name string, quick bool) (fmt.Stringer, error) {
-	r, err := registry.Lookup(name)
-	if err != nil {
-		return nil, err
-	}
 	o := exp.Full()
 	if quick {
 		o = exp.Quick()
+	}
+	return RunOptions(name, o)
+}
+
+// RunOptions regenerates one artifact with explicit options — the way to
+// set sweep-engine parallelism (Options.Workers) for the ablation studies.
+// Results do not depend on the worker count.
+func RunOptions(name string, o exp.Options) (fmt.Stringer, error) {
+	r, err := registry.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return r(o)
 }

@@ -1,6 +1,10 @@
 package dcsim
 
 import (
+	"fmt"
+	"math"
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/power"
@@ -20,7 +24,52 @@ type Build struct {
 	// NVMs is the number of VMs in the run.
 	NVMs int
 
-	matrix *core.CostMatrix
+	matrix     *core.CostMatrix
+	usedParams map[string]bool
+}
+
+// Param returns the scenario-level parameter name, or def when the scenario
+// does not set it. Factories must read every knob they honour through Param:
+// the run records which names were consumed and rejects a scenario whose
+// params include names no selected component read, so a misspelled or
+// misapplied knob fails instead of silently running the default.
+func (b *Build) Param(name string, def float64) float64 {
+	if b.usedParams == nil {
+		b.usedParams = make(map[string]bool)
+	}
+	b.usedParams[name] = true
+	if v, ok := b.Scenario.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// IntParam is Param for count-valued knobs: it rejects non-integral and
+// non-positive values instead of silently truncating them, keeping the
+// fail-loud params contract.
+func (b *Build) IntParam(name string, def int) (int, error) {
+	v := b.Param(name, float64(def))
+	if v != math.Trunc(v) || v < 1 {
+		return 0, fmt.Errorf("dcsim: param %q must be a positive integer, got %v", name, v)
+	}
+	return int(v), nil
+}
+
+// unusedParamErr reports the scenario params no factory consumed.
+func (b *Build) unusedParamErr() error {
+	var unused []string
+	for name := range b.Scenario.Params {
+		if !b.usedParams[name] {
+			unused = append(unused, name)
+		}
+	}
+	if len(unused) == 0 {
+		return nil
+	}
+	sort.Strings(unused)
+	sc := b.Scenario
+	return fmt.Errorf("dcsim: params %v not read by policy %q, governor %q or predictor %q",
+		unused, sc.Policy, sc.Governor, sc.Predictor)
 }
 
 // Matrix returns the run's shared streaming cost matrix, creating it on
@@ -132,6 +181,8 @@ func init() {
 		if b.Scenario.Pctl > 0 {
 			cfg.Pctl = b.Scenario.Pctl
 		}
+		cfg.THCost = b.Param("thcost", cfg.THCost)
+		cfg.Alpha = b.Param("alpha", cfg.Alpha)
 		return &core.Allocator{Config: cfg, Matrix: b.Matrix()}, nil
 	}
 	RegisterPolicy("corr-aware", corrAware)
@@ -149,14 +200,31 @@ func init() {
 	RegisterGovernor("corr-aware", eqn4)
 	RegisterGovernor("worst-case", func(*Build) (sim.Governor, error) { return sim.WorstCase{}, nil })
 
-	// Workload predictors (parameters are the paper's/DESIGN.md choices).
+	// Workload predictors (defaults are the paper's/DESIGN.md choices;
+	// scenario params override the window/smoothing knobs).
 	RegisterPredictor("last-value", func(*Build) (predict.Predictor, error) { return predict.LastValue{}, nil })
-	RegisterPredictor("moving-average", func(*Build) (predict.Predictor, error) { return predict.MovingAverage{K: 3}, nil })
-	RegisterPredictor("ewma", func(*Build) (predict.Predictor, error) { return predict.EWMA{Alpha: 0.5}, nil })
-	RegisterPredictor("max-of", func(*Build) (predict.Predictor, error) { return predict.MaxOf{K: 3}, nil })
+	RegisterPredictor("moving-average", func(b *Build) (predict.Predictor, error) {
+		k, err := b.IntParam("ma_k", 3)
+		if err != nil {
+			return nil, err
+		}
+		return predict.MovingAverage{K: k}, nil
+	})
+	RegisterPredictor("ewma", func(b *Build) (predict.Predictor, error) {
+		return predict.EWMA{Alpha: b.Param("ewma_alpha", 0.5)}, nil
+	})
+	RegisterPredictor("max-of", func(b *Build) (predict.Predictor, error) {
+		k, err := b.IntParam("maxof_k", 3)
+		if err != nil {
+			return nil, err
+		}
+		return predict.MaxOf{K: k}, nil
+	})
 
 	// Server models. The Opteron has no fitted power model in the repo, so
-	// only the Xeon is registered for consolidation runs; the web-search
-	// testbed pins its own hardware.
+	// the consolidation runs offer the Xeon and its hypothetical six-level
+	// variant (ablation A7's hardware axis); the web-search testbed pins
+	// its own hardware.
 	RegisterServer("xeon-e5410", ServerModel{Spec: server.XeonE5410(), Power: power.XeonE5410()})
+	RegisterServer("xeon-6level", ServerModel{Spec: server.XeonFineGrained(), Power: power.XeonFineGrained()})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -67,6 +68,13 @@ type Scenario struct {
 	CumulativeMatrix bool `json:"cumulative_matrix,omitempty"`
 	// Oracle replaces the predictor with perfect next-period knowledge.
 	Oracle bool `json:"oracle,omitempty"`
+	// Params are scenario-level component parameters, keyed by name and
+	// read by the component factories at Run time (see Build.Param):
+	// "thcost" and "alpha" tune the correlation-aware allocator,
+	// "ma_k"/"ewma_alpha"/"maxof_k" tune the matching predictors. A param
+	// no selected component reads is an error, so config typos fail
+	// instead of silently running the defaults.
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // DefaultScenario is the paper's Setup-2 operating point: 40 VMs in 8
@@ -154,6 +162,23 @@ func WithCumulativeMatrix(on bool) Option { return func(s *Scenario) { s.Cumulat
 // WithOracle enables perfect next-period prediction.
 func WithOracle(on bool) Option { return func(s *Scenario) { s.Oracle = on } }
 
+// WithParam sets one scenario-level component parameter. The params map is
+// copied on first write, so scenarios derived from a shared base (as sweep
+// grids do) never alias each other's parameters.
+func WithParam(name string, value float64) Option {
+	return func(s *Scenario) { s.SetParam(name, value) }
+}
+
+// SetParam sets one component parameter, copy-on-write (see WithParam).
+func (s *Scenario) SetParam(name string, value float64) {
+	params := make(map[string]float64, len(s.Params)+1)
+	for k, v := range s.Params {
+		params[k] = v
+	}
+	params[name] = value
+	s.Params = params
+}
+
 // withDefaults fills zero-valued fields from DefaultScenario, so sparse
 // JSON configs and hand-built literals get the same sane baseline.
 func (s Scenario) withDefaults() Scenario {
@@ -225,6 +250,14 @@ func (s Scenario) Validate() error {
 	}
 	if s.RescaleEvery < 0 {
 		return errors.New("dcsim: RescaleEvery must be non-negative")
+	}
+	for name, v := range s.Params {
+		if name == "" {
+			return errors.New("dcsim: empty param name")
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dcsim: param %q is %v", name, v)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/pkg/dcsim"
+)
+
+// Observer receives one callback per completed cell, in completion order
+// (non-deterministic under parallelism; the final Result is ordered by cell
+// index regardless). Callbacks run on the collector goroutine, one at a
+// time.
+type Observer interface {
+	OnCell(CellResult)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(CellResult)
+
+// OnCell implements Observer.
+func (f ObserverFunc) OnCell(c CellResult) { f(c) }
+
+// Options tunes the engine.
+type Options struct {
+	// Workers bounds the number of concurrent runs; 0 selects
+	// GOMAXPROCS. Aggregates are byte-identical at any worker count.
+	Workers int
+	// Observers receive per-cell completion events.
+	Observers []Observer
+	// RunObservers, when set, supplies dcsim Observers for each
+	// individual run — the tap into the per-sample/per-period stream of
+	// the underlying simulations. It is called from worker goroutines
+	// and must be safe for concurrent use.
+	RunObservers func(cell Cell, replica int) []dcsim.Observer
+}
+
+// workersOrDefault resolves the worker count.
+func (o Options) workersOrDefault() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the grid on a bounded worker pool and merges the runs into
+// per-cell aggregates. The returned Result is deterministic: cells appear
+// in canonical grid order and replica statistics are folded in replica
+// order, so the same grid marshals to the same bytes at any worker count.
+//
+// Cancelling ctx stops the sweep between samples; Run then returns the
+// cells whose every replica had already finished — a partial but
+// well-defined grid — alongside the context's error. A failing run (as
+// opposed to a cancelled one) aborts the sweep and returns its error.
+func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g = g.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		cell, replica int
+	}
+	type outcome struct {
+		cell, replica int
+		res           *dcsim.Result
+		err           error
+	}
+	jobs := make([]job, 0, len(cells)*g.Replicas)
+	for c := range cells {
+		for r := 0; r < g.Replicas; r++ {
+			jobs = append(jobs, job{cell: c, replica: r})
+		}
+	}
+
+	// An internal cancel fans a run failure out to the other workers so
+	// the sweep aborts promptly instead of finishing doomed work.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobCh := make(chan job)
+	outCh := make(chan outcome)
+	var wg sync.WaitGroup
+	workers := opts.workersOrDefault()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if runCtx.Err() != nil {
+					outCh <- outcome{cell: j.cell, replica: j.replica, err: runCtx.Err()}
+					continue
+				}
+				sc := cells[j.cell].Replica(j.replica, g.SeedStride)
+				var obs []dcsim.Observer
+				if opts.RunObservers != nil {
+					obs = opts.RunObservers(cells[j.cell], j.replica)
+				}
+				res, err := dcsim.Run(runCtx, sc, obs...)
+				outCh <- outcome{cell: j.cell, replica: j.replica, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-runCtx.Done():
+				// Flush the rest as cancelled so the collector's
+				// count stays exact.
+				outCh <- outcome{cell: j.cell, replica: j.replica, err: runCtx.Err()}
+			}
+		}
+	}()
+
+	// The collector is the only goroutine touching the aggregation state,
+	// so folding needs no locks and replica order is under our control.
+	perCell := make([][]*dcsim.Result, len(cells))
+	remaining := make([]int, len(cells))
+	for i := range perCell {
+		perCell[i] = make([]*dcsim.Result, g.Replicas)
+		remaining[i] = g.Replicas
+	}
+	var firstErr error
+	done := make([]CellResult, 0, len(cells))
+	for n := 0; n < len(jobs); n++ {
+		o := <-outCh
+		if o.err != nil {
+			if firstErr == nil && ctx.Err() == nil && !errors.Is(o.err, context.Canceled) {
+				// A genuine run failure, not our own cancellation:
+				// remember it and stop the rest of the sweep.
+				firstErr = fmt.Errorf("sweep: cell %d (%s) replica %d: %w",
+					o.cell, cells[o.cell].Name(), o.replica, o.err)
+				cancel()
+			}
+			continue
+		}
+		perCell[o.cell][o.replica] = o.res
+		remaining[o.cell]--
+		if remaining[o.cell] == 0 {
+			cr := aggregate(cells[o.cell], perCell[o.cell])
+			done = append(done, cr)
+			for _, obs := range opts.Observers {
+				obs.OnCell(cr)
+			}
+			perCell[o.cell] = nil // free the raw runs
+		}
+	}
+	wg.Wait()
+	close(outCh)
+
+	res := &Result{Grid: g, TotalCells: len(cells), Cells: done}
+	res.sortCells()
+	res.Complete = len(done) == len(cells)
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if err := ctx.Err(); err != nil && !res.Complete {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,193 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/pkg/dcsim"
+)
+
+// Agg summarizes one metric across a cell's seed replicas: the mean, the
+// Bessel-corrected standard deviation, and the half-width of the Student-t
+// 95% confidence interval of the mean (0 for a single replica).
+type Agg struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	CI95   float64 `json:"ci95"`
+	N      int     `json:"n"`
+}
+
+// aggOf folds replica observations in slice order, which keeps the
+// floating-point result independent of completion order.
+func aggOf(xs []float64) Agg {
+	var r stats.Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return Agg{Mean: r.Mean(), StdDev: r.SampleStdDev(), CI95: r.MeanCI95(), N: r.N()}
+}
+
+// CellResult is one grid cell's aggregate over its seed replicas.
+type CellResult struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Assign repeats the cell's axis assignments for self-contained rows.
+	Assign []Assignment `json:"assign,omitempty"`
+	// Scenario is the replica-0 scenario, the cell's reproduction recipe.
+	Scenario dcsim.Scenario `json:"scenario"`
+
+	EnergyJ          Agg `json:"energy_j"`
+	MeanPowerW       Agg `json:"mean_power_w"`
+	MaxViolationPct  Agg `json:"max_violation_pct"`
+	MeanViolationPct Agg `json:"mean_violation_pct"`
+	MeanActive       Agg `json:"mean_active"`
+	Migrations       Agg `json:"migrations"`
+}
+
+// aggregate folds one cell's replica runs (in replica order) into a
+// CellResult.
+func aggregate(c Cell, runs []*dcsim.Result) CellResult {
+	n := len(runs)
+	energy := make([]float64, n)
+	power := make([]float64, n)
+	maxViol := make([]float64, n)
+	meanViol := make([]float64, n)
+	active := make([]float64, n)
+	migr := make([]float64, n)
+	for i, r := range runs {
+		energy[i] = r.EnergyJ
+		power[i] = r.MeanPowerW
+		maxViol[i] = r.MaxViolationPct
+		meanViol[i] = r.MeanViolationPct
+		active[i] = r.MeanActive
+		migr[i] = float64(r.TotalMigrations)
+	}
+	return CellResult{
+		Index:            c.Index,
+		Name:             c.Name(),
+		Assign:           c.Assign,
+		Scenario:         c.Scenario,
+		EnergyJ:          aggOf(energy),
+		MeanPowerW:       aggOf(power),
+		MaxViolationPct:  aggOf(maxViol),
+		MeanViolationPct: aggOf(meanViol),
+		MeanActive:       aggOf(active),
+		Migrations:       aggOf(migr),
+	}
+}
+
+// Result is a sweep's aggregate outcome. Cells are ordered by canonical
+// grid index; on a cancelled sweep only the cells whose every replica
+// finished are present (Complete reports whether that is all of them).
+type Result struct {
+	Grid       Grid         `json:"grid"`
+	TotalCells int          `json:"total_cells"`
+	Complete   bool         `json:"complete"`
+	Cells      []CellResult `json:"cells"`
+}
+
+func (r *Result) sortCells() {
+	sort.Slice(r.Cells, func(i, j int) bool { return r.Cells[i].Index < r.Cells[j].Index })
+}
+
+// Cell returns the aggregate of the given canonical cell index, or nil if
+// that cell did not complete.
+func (r *Result) Cell(index int) *CellResult {
+	i := sort.Search(len(r.Cells), func(i int) bool { return r.Cells[i].Index >= index })
+	if i < len(r.Cells) && r.Cells[i].Index == index {
+		return &r.Cells[i]
+	}
+	return nil
+}
+
+// JSON renders the result as indented JSON. The bytes are deterministic:
+// cells are index-ordered and replica folding is order-fixed, so the same
+// grid produces the same document at any worker count.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteCSV emits one row per cell: the axis assignments, then
+// mean/stddev/ci95 per metric. Assignment columns come from the grid's
+// axes, so every row has the same shape.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"index", "name"}
+	for _, ax := range r.Grid.Axes {
+		header = append(header, ax.Field)
+	}
+	header = append(header, "replicas")
+	for _, m := range metricNames {
+		header = append(header, m+"_mean", m+"_stddev", m+"_ci95")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		row := []string{strconv.Itoa(c.Index), c.Name}
+		for _, a := range c.Assign {
+			row = append(row, formatValue(a.Value))
+		}
+		row = append(row, strconv.Itoa(c.EnergyJ.N))
+		for _, agg := range c.metrics() {
+			row = append(row,
+				strconv.FormatFloat(agg.Mean, 'g', -1, 64),
+				strconv.FormatFloat(agg.StdDev, 'g', -1, 64),
+				strconv.FormatFloat(agg.CI95, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+var metricNames = []string{
+	"energy_j", "mean_power_w", "max_violation_pct", "mean_violation_pct", "mean_active", "migrations",
+}
+
+// metrics returns the cell's aggregates in metricNames order.
+func (c *CellResult) metrics() []Agg {
+	return []Agg{c.EnergyJ, c.MeanPowerW, c.MaxViolationPct, c.MeanViolationPct, c.MeanActive, c.Migrations}
+}
+
+// Table renders a terminal summary: one row per cell with mean ± 95% CI
+// for the headline metrics.
+func (r *Result) Table() string {
+	t := report.NewTable("cell", "energy (kJ)", "max violations (%)", "mean active", "migrations")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		t.AddRow(c.Name,
+			meanCI(c.EnergyJ, 1e-3, 1),
+			meanCI(c.MaxViolationPct, 1, 1),
+			meanCI(c.MeanActive, 1, 1),
+			meanCI(c.Migrations, 1, 0))
+	}
+	title := r.Grid.Name
+	if title == "" {
+		title = "sweep"
+	}
+	status := fmt.Sprintf("%d/%d cells", len(r.Cells), r.TotalCells)
+	if !r.Complete {
+		status += " (partial)"
+	}
+	return fmt.Sprintf("%s — %s, %d replica(s)\n%s", title, status, r.Grid.withDefaults().Replicas, t.String())
+}
+
+// meanCI formats "mean" or "mean ±ci" scaled by unit with the given
+// decimals.
+func meanCI(a Agg, unit float64, decimals int) string {
+	s := strconv.FormatFloat(a.Mean*unit, 'f', decimals, 64)
+	if a.N > 1 {
+		s += " ±" + strconv.FormatFloat(a.CI95*unit, 'f', decimals, 64)
+	}
+	return s
+}

@@ -1,0 +1,328 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/pkg/dcsim"
+)
+
+// tinyBase is a scenario small enough that a grid of runs stays fast:
+// 1 simulated hour of 6 VMs, three placement periods.
+func tinyBase() dcsim.Scenario {
+	return dcsim.Scenario{
+		Workload:      dcsim.Workload{VMs: 6, Groups: 2, Hours: 1},
+		MaxServers:    5,
+		PeriodSamples: 240,
+	}
+}
+
+func tinyGrid() Grid {
+	return Grid{
+		Name: "tiny",
+		Base: tinyBase(),
+		Axes: []Axis{
+			{Field: "policy", Values: []any{"bfd", "corr-aware"}},
+			{Field: "rescale_every", Values: []any{0, 12}},
+		},
+		Replicas: 2,
+	}
+}
+
+func TestCellsCanonicalOrder(t *testing.T) {
+	g := tinyGrid()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	// First axis slowest, second fastest.
+	wantNames := []string{
+		"policy=bfd rescale_every=0",
+		"policy=bfd rescale_every=12",
+		"policy=corr-aware rescale_every=0",
+		"policy=corr-aware rescale_every=12",
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+		if c.Name() != wantNames[i] {
+			t.Errorf("cell %d name = %q, want %q", i, c.Name(), wantNames[i])
+		}
+	}
+	// The governor re-pairs with the policy per cell, like sparse
+	// scenario files.
+	if g := cells[0].Scenario.Governor; g != "worst-case" {
+		t.Errorf("bfd cell governor = %q, want worst-case", g)
+	}
+	if g := cells[2].Scenario.Governor; g != "eqn4" {
+		t.Errorf("corr-aware cell governor = %q, want eqn4", g)
+	}
+}
+
+func TestParamAxisCopyOnWrite(t *testing.T) {
+	g := Grid{
+		Base: dcsim.New(dcsim.WithPolicy("corr-aware")),
+		Axes: []Axis{{Field: "param:thcost", Values: []any{1.0, 1.4}}},
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Scenario.Params["thcost"] == cells[1].Scenario.Params["thcost"] {
+		t.Fatal("param axis cells alias the same params map")
+	}
+	if cells[0].Scenario.Params["thcost"] != 1.0 || cells[1].Scenario.Params["thcost"] != 1.4 {
+		t.Fatalf("params = %v, %v", cells[0].Scenario.Params, cells[1].Scenario.Params)
+	}
+}
+
+func TestReplicaSeeds(t *testing.T) {
+	g := tinyGrid()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The base seed is unset, so normalization fills the default 1.
+	if s := cells[0].Replica(0, 3).Workload.Seed; s != 1 {
+		t.Fatalf("replica 0 seed = %d, want 1", s)
+	}
+	if s := cells[0].Replica(2, 3).Workload.Seed; s != 7 {
+		t.Fatalf("replica 2 seed = %d, want 1+2*3", s)
+	}
+}
+
+func TestApplyRejects(t *testing.T) {
+	sc := tinyBase()
+	cases := []struct {
+		field string
+		v     any
+		want  string
+	}{
+		{"nope", "x", "unknown axis field"},
+		{"policy", 3.0, "wants a string"},
+		{"vms", "many", "wants a number"},
+		{"vms", 2.5, "wants an integer"},
+		{"oracle", 1.0, "wants a bool"},
+		{"param:", 1.0, "empty param name"},
+	}
+	for _, c := range cases {
+		err := Apply(&sc, c.field, c.v)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Apply(%q, %v) = %v, want %q", c.field, c.v, err, c.want)
+		}
+	}
+}
+
+func TestValidateCatchesBadCells(t *testing.T) {
+	// A param the selected components never read fails grid validation
+	// before any simulation runs.
+	g := Grid{
+		Base: dcsim.New(dcsim.WithPolicy("bfd")),
+		Axes: []Axis{{Field: "param:thcost", Values: []any{1.0}}},
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "thcost") {
+		t.Fatalf("err = %v, want unread-param failure", err)
+	}
+	// Unknown registry names fail too.
+	g = Grid{Base: tinyBase(), Axes: []Axis{{Field: "policy", Values: []any{"warp-drive"}}}}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("err = %v, want unknown-policy failure", err)
+	}
+}
+
+func TestParseGridRejectsUnknownFields(t *testing.T) {
+	_, err := ParseGrid([]byte(`{"base": {}, "axis": []}`))
+	if err == nil || !strings.Contains(err.Error(), "axis") {
+		t.Fatalf("err = %v, want unknown-field rejection", err)
+	}
+}
+
+func TestParseGridRoundTrip(t *testing.T) {
+	data := []byte(`{
+		"name": "rt",
+		"base": {"policy": "corr-aware", "workload": {"vms": 6, "groups": 2, "hours": 1}, "max_servers": 5, "period_samples": 240},
+		"axes": [{"field": "param:thcost", "values": [1.0, 1.15]}],
+		"replicas": 2
+	}`)
+	g, err := ParseGrid(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("runs = %d, want 2 cells x 2 replicas", n)
+	}
+}
+
+// TestDeterministicAcrossWorkers is the sweep's core contract: the same
+// grid yields byte-identical aggregate JSON at 1, 4, and 8 workers.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := tinyGrid()
+	var golden []byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Run(context.Background(), g, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !res.Complete || len(res.Cells) != 4 {
+			t.Fatalf("workers=%d: incomplete result %d/%d", workers, len(res.Cells), res.TotalCells)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = data
+			continue
+		}
+		if !bytes.Equal(golden, data) {
+			t.Fatalf("workers=%d: aggregate JSON differs from workers=1", workers)
+		}
+	}
+}
+
+// TestCancellationReturnsCompletedCells cancels mid-grid and checks the
+// partial result holds exactly the cells whose replicas all finished.
+func TestCancellationReturnsCompletedCells(t *testing.T) {
+	g := tinyGrid()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cellsSeen atomic.Int32
+	opts := Options{
+		Workers: 1,
+		Observers: []Observer{ObserverFunc(func(CellResult) {
+			if cellsSeen.Add(1) == 1 {
+				cancel()
+			}
+		})},
+	}
+	res, err := Run(ctx, g, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled sweep must still return the partial result")
+	}
+	if res.Complete {
+		t.Fatal("cancelled sweep reported complete")
+	}
+	// Serial execution, cancelled after the first cell: exactly that
+	// cell survives, and it is a fully aggregated one.
+	if len(res.Cells) != 1 {
+		t.Fatalf("completed cells = %d, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	if c.Index != 0 || c.EnergyJ.N != 2 {
+		t.Fatalf("partial cell = index %d with %d replicas, want index 0 with 2", c.Index, c.EnergyJ.N)
+	}
+}
+
+// TestCancellationParallel exercises the cancel path under real
+// parallelism: whatever comes back must be fully aggregated cells in
+// canonical order.
+func TestCancellationParallel(t *testing.T) {
+	g := tinyGrid()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	opts := Options{
+		Workers:   4,
+		Observers: []Observer{ObserverFunc(func(CellResult) { once.Do(cancel) })},
+	}
+	res, err := Run(ctx, g, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	last := -1
+	for _, c := range res.Cells {
+		if c.Index <= last {
+			t.Fatalf("cells out of order: %d after %d", c.Index, last)
+		}
+		last = c.Index
+		if c.EnergyJ.N != g.Replicas {
+			t.Fatalf("cell %d aggregated %d replicas, want %d", c.Index, c.EnergyJ.N, g.Replicas)
+		}
+	}
+}
+
+func TestRunObserversTapStream(t *testing.T) {
+	g := Grid{
+		Base:     tinyBase(),
+		Axes:     []Axis{{Field: "policy", Values: []any{"bfd"}}},
+		Replicas: 1,
+	}
+	var periods atomic.Int32
+	opts := Options{
+		Workers: 2,
+		RunObservers: func(c Cell, replica int) []dcsim.Observer {
+			return []dcsim.Observer{dcsim.PeriodFunc(func(dcsim.Period) { periods.Add(1) })}
+		},
+	}
+	if _, err := Run(context.Background(), g, opts); err != nil {
+		t.Fatal(err)
+	}
+	// 1 hour at 240-sample periods = 3 periods for the single run.
+	if periods.Load() != 3 {
+		t.Fatalf("streamed %d periods, want 3", periods.Load())
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	g := tinyGrid()
+	res, err := Run(context.Background(), g, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("csv lines = %d, want header + 4 cells", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(header) {
+			t.Fatalf("row width %d != header width %d", got, len(header))
+		}
+	}
+	if !strings.Contains(lines[0], "policy") || !strings.Contains(lines[0], "energy_j_mean") {
+		t.Fatalf("header missing expected columns: %s", lines[0])
+	}
+	// Table rendering stays non-empty and labelled.
+	if s := res.Table(); !strings.Contains(s, "tiny") || !strings.Contains(s, "4/4 cells") {
+		t.Fatalf("table rendering: %q", s)
+	}
+}
+
+func TestSingleReplicaCollapsesCI(t *testing.T) {
+	g := Grid{
+		Base: tinyBase(),
+		Axes: []Axis{{Field: "policy", Values: []any{"bfd"}}},
+	}
+	res, err := Run(context.Background(), g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if c.EnergyJ.N != 1 || c.EnergyJ.CI95 != 0 || c.EnergyJ.StdDev != 0 {
+		t.Fatalf("single replica agg = %+v, want collapsed spread", c.EnergyJ)
+	}
+	if c.EnergyJ.Mean <= 0 {
+		t.Fatal("energy mean should be positive")
+	}
+}
