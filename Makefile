@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-sweep
+.PHONY: ci fmt vet build test race bench bench-sweep bench-alloc leakcheck
 
-ci: fmt vet build test race bench-sweep
+ci: fmt vet build test race leakcheck bench-sweep bench-alloc
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -24,6 +24,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# leakcheck fails if any exported identifier in pkg/dcsim/... references a
+# type from an internal/ package — the public API must speak only
+# pkg/dcsim/model, so out-of-tree modules can implement every contract.
+leakcheck:
+	./scripts/leakcheck.sh
+
+# bench-alloc records the allocator scaling trajectory (exact Fig.-2
+# semantics up to 2k VMs, blocked evaluation at 1k/2k/10k) in
+# BENCH_alloc.json.
+bench-alloc:
+	./scripts/bench_alloc.sh
 
 # bench-sweep is the perf-trajectory smoke: a tiny grid through the sweep
 # engine, timing recorded in BENCH_sweep.json (reports go to a scratch dir).

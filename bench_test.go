@@ -197,27 +197,35 @@ func BenchmarkCostMatrixUpdateP95(b *testing.B) {
 }
 
 // BenchmarkAllocatorScale sweeps the allocator over growing VM counts
-// (ablation A5's runtime axis). The ≥1k sizes guard the index-set remove
-// path in Allocator.Place: with the old spliced-slice removal the per-VM
-// removal cost alone was O(n²), visible as superlinear ns/op growth from
-// 1000 to 2000 VMs.
+// (ablation A5's runtime axis) and records the allocator perf trajectory
+// (BENCH_alloc.json via make ci). Two series:
+//
+//   - exact: the paper's Fig.-2 semantics with the streaming matrix, as
+//     simulations run it. The ≥1k sizes guard the index-set remove path
+//     and the incremental affinity sums in Allocator.Place: with the old
+//     per-pick member rescan the fill alone was O(n²·members).
+//   - block=512: blocked candidate evaluation with a flat cost source,
+//     the sub-quadratic mode for 10k-VM scenarios — per-admission work is
+//     capped at the block size, so ns/op grows ~linearly 1k→10k.
 func BenchmarkAllocatorScale(b *testing.B) {
-	for _, n := range []int{40, 100, 200, 400, 1000, 2000} {
-		b.Run(fmt.Sprintf("vms=%d", n), func(b *testing.B) {
+	bench := func(n int, a *core.Allocator) func(b *testing.B) {
+		return func(b *testing.B) {
 			rng := rand.New(rand.NewSource(7))
 			reqs := make([]place.Request, n)
 			for i := range reqs {
 				reqs[i] = place.Request{Ref: 0.5 + 3*rng.Float64()}
 			}
-			m := core.NewCostMatrix(n, 1)
-			sample := make([]float64, n)
-			for k := 0; k < 50; k++ {
-				for i := range sample {
-					sample[i] = rng.Float64() * 4
+			if a.CostFn == nil {
+				m := core.NewCostMatrix(n, 1)
+				sample := make([]float64, n)
+				for k := 0; k < 50; k++ {
+					for i := range sample {
+						sample[i] = rng.Float64() * 4
+					}
+					m.Add(sample)
 				}
-				m.Add(sample)
+				a.Matrix = m
 			}
-			a := &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
 			spec := server.XeonE5410()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -225,7 +233,17 @@ func BenchmarkAllocatorScale(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-		})
+		}
+	}
+	for _, n := range []int{40, 100, 200, 400, 1000, 2000} {
+		b.Run(fmt.Sprintf("exact/vms=%d", n),
+			bench(n, &core.Allocator{Config: core.DefaultConfig()}))
+	}
+	for _, n := range []int{1000, 2000, 10000} {
+		cfg := core.DefaultConfig()
+		cfg.Block = 512
+		b.Run(fmt.Sprintf("block=512/vms=%d", n),
+			bench(n, &core.Allocator{Config: cfg, CostFn: core.SyntheticPairCost}))
 	}
 }
 

@@ -11,7 +11,6 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/exp"
 	"repro/pkg/dcsim/experiments"
 )
 
@@ -46,9 +45,9 @@ func main() {
 			want[a] = true
 		}
 	}
-	o := exp.Full()
+	o := experiments.Full()
 	if *quick {
-		o = exp.Quick()
+		o = experiments.Quick()
 	}
 	o.Workers = *workers
 

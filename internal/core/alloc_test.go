@@ -239,3 +239,62 @@ func TestAllocatorThresholdRelaxation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func scaleReqs(n int, seed int64) []place.Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]place.Request, n)
+	for i := range reqs {
+		reqs[i] = place.Request{Ref: 0.5 + 3*rng.Float64()}
+	}
+	return reqs
+}
+
+func TestAllocatorBlockAtLeastNMatchesExact(t *testing.T) {
+	// Block >= n must reproduce the exact Fig.-2 placement bit for bit:
+	// the candidate suffix then contains every fitting VM.
+	for _, n := range []int{17, 60, 200} {
+		reqs := scaleReqs(n, int64(n))
+		exact := &Allocator{Config: DefaultConfig(), CostFn: SyntheticPairCost}
+		blocked := &Allocator{Config: DefaultConfig(), CostFn: SyntheticPairCost}
+		blocked.Block = n + 5
+		pe, err := exact.Place(reqs, spec8(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := blocked.Place(reqs, spec8(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe.NumServers != pb.NumServers {
+			t.Fatalf("n=%d: servers %d vs %d", n, pe.NumServers, pb.NumServers)
+		}
+		for i := range pe.Assign {
+			if pe.Assign[i] != pb.Assign[i] {
+				t.Fatalf("n=%d: vm %d on %d (exact) vs %d (blocked)", n, i, pe.Assign[i], pb.Assign[i])
+			}
+		}
+	}
+}
+
+func TestAllocatorBlockedPlacesEverything(t *testing.T) {
+	// A small block must still yield a complete, valid, capacity-sane
+	// placement at scale.
+	const n = 3000
+	reqs := scaleReqs(n, 7)
+	a := &Allocator{Config: DefaultConfig(), CostFn: SyntheticPairCost}
+	a.Block = 64
+	p, err := a.Place(reqs, spec8(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No server may be overcommitted when enough servers are allowed.
+	load := p.ProvisionedLoad(reqs)
+	for s, l := range load {
+		if l > spec8().Capacity()+1e-9 {
+			t.Fatalf("server %d provisioned at %v of %v", s, l, spec8().Capacity())
+		}
+	}
+}

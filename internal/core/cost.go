@@ -8,11 +8,11 @@ import (
 	"math"
 
 	"repro/internal/vmmodel"
+	"repro/pkg/dcsim/model"
 )
 
-// PairCostFunc returns the Eqn-1 correlation cost between VMs i and j.
-// Implementations must be symmetric and return 1 for i == j.
-type PairCostFunc func(i, j int) float64
+// PairCostFunc is the pairwise-cost contract model.PairCostFunc.
+type PairCostFunc = model.PairCostFunc
 
 // CostMatrix maintains the pairwise correlation costs of Eqn (1) for a set
 // of VMs, updatable one utilization sample per VM at a time:
@@ -34,6 +34,9 @@ type CostMatrix struct {
 	vm   []*vmmodel.Monitor // per-VM û
 	pair []*vmmodel.Monitor // per-pair û of the aggregated demand, upper triangle
 }
+
+// CostMatrix implements the streaming contract model.CostSource.
+var _ model.CostSource = (*CostMatrix)(nil)
 
 // NewCostMatrix returns a matrix for n VMs using the given reference
 // percentile (>= 1 tracks exact peaks).
@@ -158,6 +161,23 @@ func refOf(xs []float64, pctl float64) float64 {
 		m.Add(v)
 	}
 	return m.Ref()
+}
+
+// SyntheticPairCost is a deterministic, symmetric, O(1) stand-in pair
+// cost with values in [1, 1.5) — for scale tests and benchmarks, where a
+// streaming matrix's per-pair monitors would dominate memory at 10k+ VMs.
+func SyntheticPairCost(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	if i > j {
+		i, j = j, i
+	}
+	h := uint64(i)*0x9E3779B97F4A7C15 ^ uint64(j)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return 1 + float64(h%1000)/2000
 }
 
 // ServerCost computes the weighted average correlation cost of a server,

@@ -6,11 +6,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/predict"
-	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vmmodel"
 	"repro/pkg/dcsim"
+	"repro/pkg/dcsim/model"
+	"repro/pkg/dcsim/report"
 	"repro/pkg/dcsim/sweep"
 )
 
@@ -61,8 +62,8 @@ func sweepRows(res *sweep.Result, baselineEnergyJ float64, label func(c sweep.Ce
 
 // proposedBase is the correlation-aware base scenario the single-axis
 // ablation grids mutate.
-func (o Options) proposedBase() dcsim.Scenario {
-	sc := o.baseScenario()
+func proposedBase(o Options) dcsim.Scenario {
+	sc := baseScenario(o)
 	sc.Policy = "corr-aware"
 	return sc
 }
@@ -71,13 +72,13 @@ func (o Options) proposedBase() dcsim.Scenario {
 // against a shared BFD baseline. Only ablation A4 still assembles its run
 // by hand: a custom pair-cost function is not expressible as a Scenario,
 // so it cannot ride the sweep engine like the other studies.
-func (o Options) ablate(vms []*vmmodel.VM, bfd *sim.Result, label string,
+func ablate(o Options, vms []*vmmodel.VM, bfd *model.Result, label string,
 	mutate func(*sim.Config, *core.Allocator)) (AblationRow, error) {
 	m := core.NewCostMatrix(len(vms), 1)
 	alloc := &core.Allocator{Config: core.DefaultConfig(), Matrix: m}
 	cfg := sim.Config{
-		Spec:          o.spec(),
-		Power:         o.model(),
+		Spec:          setup2Spec(),
+		Power:         setup2Power(),
 		Policy:        alloc,
 		Governor:      sim.CorrAware{Matrix: m},
 		MaxServers:    o.MaxServers,
@@ -104,13 +105,13 @@ func (o Options) ablate(vms []*vmmodel.VM, bfd *sim.Result, label string,
 // AblationThreshold sweeps the initial correlation threshold THcost (A1) —
 // pure config on the sweep engine since THcost is a scenario param.
 func AblationThreshold(o Options) (*AblationResult, error) {
-	bfd, err := o.baselineBFD()
+	bfd, err := baselineBFD(o)
 	if err != nil {
 		return nil, err
 	}
-	res, err := o.runGrid(sweep.Grid{
+	res, err := runGrid(o, sweep.Grid{
 		Name: "a1-thcost",
-		Base: o.proposedBase(),
+		Base: proposedBase(o),
 		Axes: []sweep.Axis{{Field: "param:thcost", Values: []any{1.0, 1.1, 1.15, 1.25, 1.4}}},
 	})
 	if err != nil {
@@ -128,13 +129,13 @@ func AblationThreshold(o Options) (*AblationResult, error) {
 // the placement references move together, as in the paper's QoS knob — the
 // façade wires both from Scenario.Pctl.
 func AblationReference(o Options) (*AblationResult, error) {
-	bfd, err := o.baselineBFD()
+	bfd, err := baselineBFD(o)
 	if err != nil {
 		return nil, err
 	}
-	res, err := o.runGrid(sweep.Grid{
+	res, err := runGrid(o, sweep.Grid{
 		Name: "a2-reference",
-		Base: o.proposedBase(),
+		Base: proposedBase(o),
 		Axes: []sweep.Axis{{Field: "pctl", Values: []any{1.0, 0.99, 0.95, 0.90}}},
 	})
 	if err != nil {
@@ -154,13 +155,13 @@ func AblationReference(o Options) (*AblationResult, error) {
 // AblationPredictor swaps the per-period workload predictor (A3) by
 // registry name.
 func AblationPredictor(o Options) (*AblationResult, error) {
-	bfd, err := o.baselineBFD()
+	bfd, err := baselineBFD(o)
 	if err != nil {
 		return nil, err
 	}
-	res, err := o.runGrid(sweep.Grid{
+	res, err := runGrid(o, sweep.Grid{
 		Name: "a3-predictor",
-		Base: o.proposedBase(),
+		Base: proposedBase(o),
 		Axes: []sweep.Axis{{Field: "predictor", Values: []any{"last-value", "moving-average", "ewma", "max-of"}}},
 	})
 	if err != nil {
@@ -179,20 +180,20 @@ func AblationPredictor(o Options) (*AblationResult, error) {
 // cost range (corr -1..1 -> pseudo-cost 2..1) so the same allocator and
 // thresholds apply.
 func AblationMetric(o Options) (*AblationResult, error) {
-	vms := o.datacenterVMs()
-	bfd, err := o.runPolicy(vms, "bfd", 0)
+	vms := datacenterVMs(o)
+	bfd, err := runPolicy(o, vms, "bfd", 0)
 	if err != nil {
 		return nil, err
 	}
 	out := &AblationResult{Title: "Ablation A4 — placement affinity metric"}
 
-	eqn1, err := o.ablate(vms, bfd, "eqn1-cost", nil)
+	eqn1, err := ablate(o, vms, bfd, "eqn1-cost", nil)
 	if err != nil {
 		return nil, err
 	}
 	out.Rows = append(out.Rows, eqn1)
 
-	pearson, err := o.ablate(vms, bfd, "pearson", func(cfg *sim.Config, a *core.Allocator) {
+	pearson, err := ablate(o, vms, bfd, "pearson", func(cfg *sim.Config, a *core.Allocator) {
 		// Recompute a Pearson matrix per placement from the request
 		// windows; the streaming matrix still drives Eqn 4 (the paper
 		// has no Pearson analogue for the frequency decision).
@@ -233,13 +234,13 @@ func pearsonAffinity(vms []*vmmodel.VM, period int) core.PairCostFunc {
 // AblationMatrixWindow compares per-period matrix resets against cumulative
 // monitoring (A6 — the CumulativeMatrix switch in the simulator).
 func AblationMatrixWindow(o Options) (*AblationResult, error) {
-	bfd, err := o.baselineBFD()
+	bfd, err := baselineBFD(o)
 	if err != nil {
 		return nil, err
 	}
-	res, err := o.runGrid(sweep.Grid{
+	res, err := runGrid(o, sweep.Grid{
 		Name: "a6-window",
-		Base: o.proposedBase(),
+		Base: proposedBase(o),
 		Axes: []sweep.Axis{{Field: "cumulative_matrix", Values: []any{false, true}}},
 	})
 	if err != nil {
@@ -262,11 +263,12 @@ func AblationMatrixWindow(o Options) (*AblationResult, error) {
 // (grouped vs one-VM-per-group) with the policy, and each structure's rows
 // normalize against the BFD cell of the same traces.
 func AblationCorrelationStructure(o Options) (*AblationResult, error) {
-	res, err := o.runGrid(sweep.Grid{
+	w := workload(o)
+	res, err := runGrid(o, sweep.Grid{
 		Name: "a5-structure",
-		Base: o.baseScenario(),
+		Base: baseScenario(o),
 		Axes: []sweep.Axis{
-			{Field: "groups", Values: []any{o.Datacenter.Groups, o.Datacenter.VMs}},
+			{Field: "groups", Values: []any{w.Groups, w.VMs}},
 			{Field: "policy", Values: []any{"corr-aware", "bfd"}},
 		},
 	})
@@ -310,9 +312,9 @@ func BaselinePolicies() []place.Policy {
 // model with the policy; each hardware's row normalizes against the BFD
 // cell on the same hardware.
 func AblationLevels(o Options) (*AblationResult, error) {
-	res, err := o.runGrid(sweep.Grid{
+	res, err := runGrid(o, sweep.Grid{
 		Name: "a7-levels",
-		Base: o.baseScenario(),
+		Base: baseScenario(o),
 		Axes: []sweep.Axis{
 			{Field: "server", Values: []any{"xeon-e5410", "xeon-6level"}},
 			{Field: "policy", Values: []any{"bfd", "corr-aware"}},
@@ -346,9 +348,9 @@ func AblationLevels(o Options) (*AblationResult, error) {
 // versus a per-period oracle, as a policy × oracle grid normalized against
 // the BFD/last-value cell.
 func AblationOracle(o Options) (*AblationResult, error) {
-	res, err := o.runGrid(sweep.Grid{
+	res, err := runGrid(o, sweep.Grid{
 		Name: "a8-oracle",
-		Base: o.baseScenario(),
+		Base: baseScenario(o),
 		Axes: []sweep.Axis{
 			{Field: "policy", Values: []any{"bfd", "corr-aware"}},
 			{Field: "oracle", Values: []any{false, true}},

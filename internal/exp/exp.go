@@ -3,51 +3,38 @@
 // returns a typed result whose String() renders the artifact as text, so
 // the cmd/experiments binary and the top-level benchmarks can regenerate
 // everything deterministically.
+//
+// Every entry point takes the serializable contract type model.RunOptions,
+// so the pkg/dcsim/experiments registry can hand the same options to
+// artifacts registered by other modules.
 package exp
 
 import (
 	"context"
-	"time"
 
 	"repro/internal/power"
 	"repro/internal/server"
-	"repro/internal/sim"
-	"repro/internal/synth"
 	"repro/internal/vmmodel"
 	"repro/internal/websearch"
 	"repro/pkg/dcsim"
+	"repro/pkg/dcsim/model"
 	"repro/pkg/dcsim/sweep"
 )
 
-// Options scales the experiments: Full() reproduces the paper's setups;
-// Quick() shrinks horizons so unit tests stay fast while exercising the
-// same code paths.
-type Options struct {
-	// WebSearchDuration is the simulated seconds per Setup-1 run.
-	WebSearchDuration float64
-	// Datacenter is the Setup-2 trace generator configuration.
-	Datacenter synth.DatacenterConfig
-	// PeriodSamples is tperiod in samples.
-	PeriodSamples int
-	// MaxServers is the Setup-2 server pool size.
-	MaxServers int
-	// CacheKI are the warm-up/measure horizons of Table I in
-	// kilo-instructions.
-	CacheWarmKI, CacheMeasKI int
-	// Fig3Groups is the number of random VM groups sampled for Fig. 3.
-	Fig3Groups int
-	// Workers bounds the sweep-engine parallelism of the ablation
-	// studies; 0 runs them serially. Results are identical at any
-	// setting — the sweep merge is deterministic.
-	Workers int
-}
+// Options scales the experiments. It is the contract type model.RunOptions:
+// Full() reproduces the paper's setups; Quick() shrinks horizons so unit
+// tests stay fast while exercising the same code paths.
+type Options = model.RunOptions
 
 // Full reproduces the paper's published setups: 24 h of 40 VMs over 20
 // servers for Setup 2, 20-minute web-search runs for Setup 1.
 func Full() Options {
 	return Options{
 		WebSearchDuration: 1200,
-		Datacenter:        synth.DefaultDatacenterConfig(),
+		VMs:               40,
+		Groups:            8,
+		Hours:             24,
+		Seed:              1,
 		PeriodSamples:     720, // 1 h of 5-s samples
 		MaxServers:        20,
 		CacheWarmKI:       20000,
@@ -60,38 +47,50 @@ func Full() Options {
 func Quick() Options {
 	o := Full()
 	o.WebSearchDuration = 240
-	o.Datacenter.Day = 6 * time.Hour
-	o.Datacenter.VMs = 16
-	o.Datacenter.Groups = 4
+	o.Hours = 6
+	o.VMs = 16
+	o.Groups = 4
 	o.CacheWarmKI = 2000
 	o.CacheMeasKI = 5000
 	o.Fig3Groups = 60
 	return o
 }
 
-// spec and model pin the Setup-2 hardware.
-func (o Options) spec() server.Spec   { return server.XeonE5410() }
-func (o Options) model() power.Model  { return power.XeonE5410() }
-func (o Options) wsSpec() server.Spec { return server.OpteronR815() }
+// setup2Spec and setup2Power pin the Setup-2 hardware.
+func setup2Spec() model.ServerSpec  { return server.XeonE5410() }
+func setup2Power() model.PowerModel { return power.XeonE5410() }
+func wsSpec() model.ServerSpec      { return server.OpteronR815() }
 
-// datacenterVMs generates the Setup-2 traces once per call site.
-func (o Options) datacenterVMs() []*vmmodel.VM {
-	ds := synth.Datacenter(o.Datacenter)
-	return vmmodel.FromSeries(ds.Names, ds.Fine)
+// workload returns the Setup-2 workload with unset knobs resolved to the
+// façade defaults — the single source of the zero-means-default mapping,
+// so the traces, the per-artifact rngs, and the sweep axes all agree on
+// what a zero-valued RunOptions field selects.
+func workload(o Options) dcsim.Workload {
+	return baseScenario(o).Normalized().Workload
 }
 
-// baseScenario maps the Setup-2 options onto a façade scenario. For the
-// Full/Quick option sets this reproduces datacenterVMs() exactly: both
-// start from synth.DefaultDatacenterConfig and override only the
-// VM/group/horizon/seed knobs a Workload carries.
-func (o Options) baseScenario() dcsim.Scenario {
+// datacenterVMs generates the Setup-2 traces once per call site, through
+// the same façade backend every scenario run uses. The workload kind is
+// fixed, so generation cannot fail.
+func datacenterVMs(o Options) []*vmmodel.VM {
+	vms, err := dcsim.VMsFor(workload(o))
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	return vms
+}
+
+// baseScenario maps the Setup-2 options onto a façade scenario; zero-valued
+// knobs resolve to the façade defaults at Run (or Normalized) time, the
+// same resolution datacenterVMs applies when synthesizing traces.
+func baseScenario(o Options) dcsim.Scenario {
 	return dcsim.Scenario{
 		Workload: dcsim.Workload{
 			Kind:   "datacenter",
-			VMs:    o.Datacenter.VMs,
-			Groups: o.Datacenter.Groups,
-			Hours:  int(o.Datacenter.Day / time.Hour),
-			Seed:   o.Datacenter.Seed,
+			VMs:    o.VMs,
+			Groups: o.Groups,
+			Hours:  o.Hours,
+			Seed:   o.Seed,
 		},
 		MaxServers:    o.MaxServers,
 		PeriodSamples: o.PeriodSamples,
@@ -102,7 +101,7 @@ func (o Options) baseScenario() dcsim.Scenario {
 // runGrid executes an ablation grid on the sweep engine at the configured
 // parallelism. Aggregates are deterministic regardless of Workers, so the
 // serial (Workers <= 1) and fanned-out ablations publish identical rows.
-func (o Options) runGrid(g sweep.Grid) (*sweep.Result, error) {
+func runGrid(o Options, g sweep.Grid) (*sweep.Result, error) {
 	workers := o.Workers
 	if workers < 1 {
 		workers = 1
@@ -112,23 +111,23 @@ func (o Options) runGrid(g sweep.Grid) (*sweep.Result, error) {
 
 // baselineBFD runs the shared BFD reference the ablation rows normalize
 // against, on the same synthesized traces the grid cells use.
-func (o Options) baselineBFD() (*sim.Result, error) {
-	sc := o.baseScenario()
+func baselineBFD(o Options) (*model.Result, error) {
+	sc := baseScenario(o)
 	sc.Policy = "bfd"
 	return dcsim.Run(context.Background(), sc)
 }
 
 // runPolicy executes one Setup-2 simulation. kind selects the policy:
 // "bfd", "pcp", or "corr"; rescaleEvery > 0 enables dynamic v/f scaling.
-func (o Options) runPolicy(vms []*vmmodel.VM, kind string, rescaleEvery int) (*sim.Result, error) {
-	return o.runPolicyOracle(vms, kind, rescaleEvery, false)
+func runPolicy(o Options, vms []*vmmodel.VM, kind string, rescaleEvery int) (*model.Result, error) {
+	return runPolicyOracle(o, vms, kind, rescaleEvery, false)
 }
 
 // runPolicyOracle is runPolicy with optional perfect per-period prediction.
 // Assembly goes through the pkg/dcsim façade: the policy kind maps to
 // registry names, and the façade wires the shared cost matrix when the
 // correlation-aware pair is selected.
-func (o Options) runPolicyOracle(vms []*vmmodel.VM, kind string, rescaleEvery int, oracle bool) (*sim.Result, error) {
+func runPolicyOracle(o Options, vms []*vmmodel.VM, kind string, rescaleEvery int, oracle bool) (*model.Result, error) {
 	governor := "worst-case"
 	if kind == "corr" {
 		governor = "eqn4"
@@ -145,7 +144,7 @@ func (o Options) runPolicyOracle(vms []*vmmodel.VM, kind string, rescaleEvery in
 }
 
 // wsConfig returns the Setup-1 configuration at the chosen horizon.
-func (o Options) wsConfig() websearch.Config {
+func wsConfig(o Options) websearch.Config {
 	cfg := websearch.DefaultConfig()
 	cfg.Duration = o.WebSearchDuration
 	return cfg

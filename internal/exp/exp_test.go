@@ -229,7 +229,7 @@ func TestQuickVsFullOptions(t *testing.T) {
 	if q.WebSearchDuration >= f.WebSearchDuration {
 		t.Fatal("Quick should be shorter")
 	}
-	if q.Datacenter.VMs >= f.Datacenter.VMs {
+	if q.VMs >= f.VMs {
 		t.Fatal("Quick should be smaller")
 	}
 	if len(BaselinePolicies()) != 3 {

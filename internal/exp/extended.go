@@ -6,8 +6,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/predict"
-	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/pkg/dcsim/report"
 )
 
 // ExtendedRow is one policy of the extended comparison.
@@ -31,15 +31,15 @@ type ExtendedResult struct {
 
 // TableIIExtended runs five policies on the Setup-2 traces.
 func TableIIExtended(o Options, dynamic bool) (*ExtendedResult, error) {
-	vms := o.datacenterVMs()
+	vms := datacenterVMs(o)
 	rescale := 0
 	if dynamic {
 		rescale = 12
 	}
 
 	base := sim.Config{
-		Spec:          o.spec(),
-		Power:         o.model(),
+		Spec:          setup2Spec(),
+		Power:         setup2Power(),
 		MaxServers:    o.MaxServers,
 		PeriodSamples: o.PeriodSamples,
 		RescaleEvery:  rescale,

@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
-	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/pkg/dcsim"
 )
 
 // Fig3Point is one scatter point of Fig. 3.
@@ -32,12 +32,16 @@ type Fig3Result struct {
 // Fig3 samples random VM groups from the Setup-2 traces and evaluates both
 // axes over one placement period.
 func Fig3(o Options) (*Fig3Result, error) {
-	ds := synth.Datacenter(o.Datacenter)
+	w := workload(o)
+	ds, err := dcsim.GenerateTraces(w)
+	if err != nil {
+		return nil, err
+	}
 	// The group-sampling rng derives from the run's trace seed (offset so
 	// it does not replay the generator's own stream): sweep replicas at
 	// different seeds sample different groups, instead of all replaying
 	// one hardcoded draw.
-	rng := rand.New(rand.NewSource(o.Datacenter.Seed + 0x5EED))
+	rng := rand.New(rand.NewSource(w.Seed + 0x5EED))
 	period := o.PeriodSamples
 	nVM := len(ds.Fine)
 

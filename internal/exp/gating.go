@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/report"
 	"repro/internal/websearch"
+	"repro/pkg/dcsim/report"
 )
 
 // GatingRow is one power-management approach in the Section-III-A study.
@@ -32,14 +32,14 @@ type GatingResult struct {
 // full speed (no management), DVFS at the low level, and core parking at
 // full speed.
 func PowerGating(o Options) (*GatingResult, error) {
-	cfg := o.wsConfig()
+	cfg := wsConfig(o)
 	// Flash-crowd surges: the fast demand swings of Section III-A. DVFS
 	// keeps every core online and absorbs them; parking is one wake
 	// latency behind.
 	cfg.SurgeEvery = 90
 	cfg.SurgeClients = 280
 	cfg.SurgeDur = 15
-	spec := o.wsSpec()
+	spec := wsSpec()
 	slow := spec.FMin() / spec.FMax()
 
 	runs := []struct {

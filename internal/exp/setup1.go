@@ -5,10 +5,10 @@ import (
 	"strings"
 
 	"repro/internal/power"
-	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/websearch"
+	"repro/pkg/dcsim/report"
 )
 
 // Fig1Result reproduces Fig. 1: CPU utilization of two ISNs in one cluster
@@ -25,7 +25,7 @@ type Fig1Result struct {
 // Fig1 runs one web-search cluster segregated on dedicated cores and
 // extracts the traces of its two ISNs.
 func Fig1(o Options) (*Fig1Result, error) {
-	cfg := o.wsConfig()
+	cfg := wsConfig(o)
 	res, err := websearch.Run(cfg, websearch.Segregated(1))
 	if err != nil {
 		return nil, err
@@ -76,7 +76,7 @@ type Fig4Result struct {
 
 // Fig4 runs the three placements at full frequency.
 func Fig4(o Options) (*Fig4Result, error) {
-	cfg := o.wsConfig()
+	cfg := wsConfig(o)
 	placements := []*websearch.Placement{
 		websearch.Segregated(1),
 		websearch.SharedUnCorr(1),
@@ -134,8 +134,8 @@ type Fig5Result struct {
 
 // Fig5 runs the frequency comparison.
 func Fig5(o Options) (*Fig5Result, error) {
-	cfg := o.wsConfig()
-	spec := o.wsSpec()
+	cfg := wsConfig(o)
+	spec := wsSpec()
 	model := power.OpteronR815()
 	fmax, fmin := spec.FMax(), spec.FMin()
 

@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
-	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/pkg/dcsim/report"
 )
 
 // TableIIResult reproduces Table II: normalized power and maximum QoS
@@ -25,14 +25,14 @@ type TableIIResult struct {
 // TableII runs the three policies on the Setup-2 traces. dynamic selects
 // Table II(b): v/f rescaling every 12 samples (1 min).
 func TableII(o Options, dynamic bool) (*TableIIResult, error) {
-	vms := o.datacenterVMs()
+	vms := datacenterVMs(o)
 	rescale := 0
 	if dynamic {
 		rescale = 12
 	}
 	var results []*sim.Result
 	for _, kind := range []string{"bfd", "pcp", "corr"} {
-		r, err := o.runPolicy(vms, kind, rescale)
+		r, err := runPolicy(o, vms, kind, rescale)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", kind, err)
 		}
@@ -84,13 +84,13 @@ type Fig6Result struct {
 
 // Fig6 runs the static Table-II(a) configuration and extracts residency.
 func Fig6(o Options) (*Fig6Result, error) {
-	vms := o.datacenterVMs()
-	spec := o.spec()
-	bfd, err := o.runPolicy(vms, "bfd", 0)
+	vms := datacenterVMs(o)
+	spec := setup2Spec()
+	bfd, err := runPolicy(o, vms, "bfd", 0)
 	if err != nil {
 		return nil, err
 	}
-	prop, err := o.runPolicy(vms, "corr", 0)
+	prop, err := runPolicy(o, vms, "corr", 0)
 	if err != nil {
 		return nil, err
 	}

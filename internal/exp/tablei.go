@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cachesim"
-	"repro/internal/report"
+	"repro/pkg/dcsim/report"
 )
 
 // llcBytes and llcWays model the shared last-level cache of the Setup-1

@@ -3,8 +3,7 @@ package place
 import (
 	"sort"
 
-	"repro/internal/server"
-	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
 )
 
 // JointVM is the joint-VM sizing baseline of Meng et al. (ICAC 2010),
@@ -23,7 +22,7 @@ type JointVM struct {
 	Pctl float64
 }
 
-// Name implements Policy.
+// Name implements model.Policy.
 func (JointVM) Name() string { return "JointVM" }
 
 func (j JointVM) pctl() float64 {
@@ -33,10 +32,10 @@ func (j JointVM) pctl() float64 {
 	return j.Pctl
 }
 
-// Place implements Policy.
-func (j JointVM) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, error) {
+// Place implements model.Policy.
+func (j JointVM) Place(reqs []model.Request, spec model.ServerSpec, maxServers int) (*model.Placement, error) {
 	if maxServers < 1 {
-		return nil, ErrNoServers
+		return nil, model.ErrNoServers
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -56,7 +55,7 @@ func (j JointVM) Place(reqs []Request, spec server.Spec, maxServers int) (*Place
 			if reqs[i].Window == nil || reqs[k].Window == nil {
 				continue
 			}
-			joint, err := trace.Add(reqs[i].Window, reqs[k].Window)
+			joint, err := model.AddSeries(reqs[i].Window, reqs[k].Window)
 			if err != nil {
 				continue
 			}
@@ -122,5 +121,5 @@ func (j JointVM) Place(reqs []Request, spec server.Spec, maxServers int) (*Place
 	if len(rem) == 0 {
 		rem = append(rem, cap)
 	}
-	return &Placement{NumServers: len(rem), Assign: assign}, nil
+	return &model.Placement{NumServers: len(rem), Assign: assign}, nil
 }

@@ -2,7 +2,8 @@ package place
 
 import (
 	"repro/internal/envelope"
-	"repro/internal/server"
+
+	"repro/pkg/dcsim/model"
 )
 
 // PCP is the Peak Clustering-based Placement of Verma et al. (USENIX ATC
@@ -33,7 +34,7 @@ type PCP struct {
 	MaxOverlap float64
 }
 
-// Name implements Policy.
+// Name implements model.Policy.
 func (PCP) Name() string { return "PCP" }
 
 func (p PCP) envelopePctl() float64 {
@@ -50,10 +51,10 @@ func (p PCP) maxOverlap() float64 {
 	return p.MaxOverlap
 }
 
-// Place implements Policy.
-func (p PCP) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, error) {
+// Place implements model.Policy.
+func (p PCP) Place(reqs []model.Request, spec model.ServerSpec, maxServers int) (*model.Placement, error) {
 	if maxServers < 1 {
-		return nil, ErrNoServers
+		return nil, model.ErrNoServers
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -88,7 +89,7 @@ func (p PCP) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement
 	}
 	var open []*srv
 
-	buffer := func(s *srv, r Request, c int) float64 {
+	buffer := func(s *srv, r model.Request, c int) float64 {
 		buf := 0.0
 		for cl, e := range s.excess {
 			if cl == c {
@@ -103,10 +104,10 @@ func (p PCP) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement
 		}
 		return buf
 	}
-	fits := func(s *srv, r Request, c int) bool {
+	fits := func(s *srv, r model.Request, c int) bool {
 		return s.offPeakSum+r.OffPeak+buffer(s, r, c) <= cap
 	}
-	add := func(s *srv, r Request, c int) {
+	add := func(s *srv, r model.Request, c int) {
 		s.offPeakSum += r.OffPeak
 		s.excess[c] += r.Ref - r.OffPeak
 		s.clusters[c] = true
@@ -157,5 +158,5 @@ func (p PCP) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement
 	if len(open) == 0 {
 		open = append(open, &srv{excess: map[int]float64{}, clusters: map[int]bool{}})
 	}
-	return &Placement{NumServers: len(open), Assign: assign}, nil
+	return &model.Placement{NumServers: len(open), Assign: assign}, nil
 }

@@ -1,97 +1,35 @@
-// Package place defines the VM-placement substrate shared by every policy
-// in the reproduction: the request/placement types, the Policy interface,
-// and the correlation-oblivious baselines (first-fit decreasing, best-fit
-// decreasing, and the PCP scheme of Verma et al. that the paper compares
-// against). The paper's own correlation-aware policy lives in
-// internal/core and implements the same interface.
+// Package place holds the correlation-oblivious placement baselines the
+// paper compares against: first-fit decreasing, best-fit decreasing, the
+// PCP scheme of Verma et al., and the joint-VM sizing of Meng et al. The
+// request/placement substrate and the Policy interface they implement are
+// the public contracts in pkg/dcsim/model; the paper's own
+// correlation-aware policy lives in internal/core and implements the same
+// interface.
 package place
 
 import (
-	"errors"
-	"fmt"
 	"sort"
 
-	"repro/internal/server"
-	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
 )
 
-// Request describes one VM to be placed for the upcoming period.
-type Request struct {
-	ID string
-	// Ref is the predicted reference utilization û (peak or Nth
-	// percentile, in core-equivalents) the VM must be provisioned for.
-	Ref float64
-	// OffPeak is the predicted off-peak utilization (e.g. 90th
-	// percentile); only PCP consumes it.
-	OffPeak float64
-	// Window is the recent demand window; only PCP's envelope
-	// clustering consumes it. It may be nil for policies that do not
-	// need it.
-	Window *trace.Series
-}
+// Request describes one VM to be placed for the upcoming period. It is the
+// contract type model.Request.
+type Request = model.Request
 
-// Placement maps each VM (by request index) to a server index.
-type Placement struct {
-	NumServers int
-	Assign     []int // per request: server index in [0, NumServers)
-}
+// Placement maps each VM (by request index) to a server index. It is the
+// contract type model.Placement.
+type Placement = model.Placement
 
-// VMsOn returns the request indices placed on the given server.
-func (p *Placement) VMsOn(srv int) []int {
-	var out []int
-	for i, s := range p.Assign {
-		if s == srv {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// Active returns the number of servers that host at least one VM.
-func (p *Placement) Active() int {
-	seen := make(map[int]bool)
-	for _, s := range p.Assign {
-		seen[s] = true
-	}
-	return len(seen)
-}
-
-// Validate checks that every VM landed on a server in range.
-func (p *Placement) Validate() error {
-	for i, s := range p.Assign {
-		if s < 0 || s >= p.NumServers {
-			return fmt.Errorf("place: vm %d assigned to server %d of %d", i, s, p.NumServers)
-		}
-	}
-	return nil
-}
-
-// ProvisionedLoad returns, per server, the sum of the placed VMs' Ref
-// values — the worst-case demand if all peaks coincided.
-func (p *Placement) ProvisionedLoad(reqs []Request) []float64 {
-	load := make([]float64, p.NumServers)
-	for i, s := range p.Assign {
-		load[s] += reqs[i].Ref
-	}
-	return load
-}
-
-// Policy places a set of VM requests onto at most maxServers homogeneous
-// servers of the given spec. Implementations must place every request
-// (overcommitting the least-loaded server when nothing fits — the QoS
-// consequences show up as violations in the simulator, exactly as in the
-// paper) and should minimize the number of servers used.
-type Policy interface {
-	Name() string
-	Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, error)
-}
+// Policy is the placement-policy contract model.Policy.
+type Policy = model.Policy
 
 // ErrNoServers is returned when maxServers < 1.
-var ErrNoServers = errors.New("place: need at least one server")
+var ErrNoServers = model.ErrNoServers
 
 // byRefDesc returns request indices sorted by decreasing Ref (ties by
 // index for determinism).
-func byRefDesc(reqs []Request) []int {
+func byRefDesc(reqs []model.Request) []int {
 	idx := make([]int, len(reqs))
 	for i := range idx {
 		idx[i] = i
@@ -117,13 +55,13 @@ func forceLeastLoaded(rem []float64, ref float64) int {
 // each into the first open server with room, opening servers as needed.
 type FFD struct{}
 
-// Name implements Policy.
+// Name implements model.Policy.
 func (FFD) Name() string { return "FFD" }
 
-// Place implements Policy.
-func (FFD) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, error) {
+// Place implements model.Policy.
+func (FFD) Place(reqs []model.Request, spec model.ServerSpec, maxServers int) (*model.Placement, error) {
 	if maxServers < 1 {
-		return nil, ErrNoServers
+		return nil, model.ErrNoServers
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -153,7 +91,7 @@ func (FFD) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, 
 	if len(rem) == 0 {
 		rem = append(rem, cap)
 	}
-	return &Placement{NumServers: len(rem), Assign: assign}, nil
+	return &model.Placement{NumServers: len(rem), Assign: assign}, nil
 }
 
 // BFD is the best-fit-decreasing heuristic the paper uses as its primary
@@ -161,13 +99,13 @@ func (FFD) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, 
 // least remaining capacity that still fits.
 type BFD struct{}
 
-// Name implements Policy.
+// Name implements model.Policy.
 func (BFD) Name() string { return "BFD" }
 
-// Place implements Policy.
-func (BFD) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, error) {
+// Place implements model.Policy.
+func (BFD) Place(reqs []model.Request, spec model.ServerSpec, maxServers int) (*model.Placement, error) {
 	if maxServers < 1 {
-		return nil, ErrNoServers
+		return nil, model.ErrNoServers
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -196,5 +134,5 @@ func (BFD) Place(reqs []Request, spec server.Spec, maxServers int) (*Placement, 
 	if len(rem) == 0 {
 		rem = append(rem, cap)
 	}
-	return &Placement{NumServers: len(rem), Assign: assign}, nil
+	return &model.Placement{NumServers: len(rem), Assign: assign}, nil
 }

@@ -1,114 +1,19 @@
-// Package power implements the virtualized-server power model of Pedram &
-// Hwang (ICPPW 2010), the model the paper's Setup 2 uses: server power is
-// linear in CPU utilization between an idle and a busy point, and both
-// points scale with the operating voltage/frequency level — dynamic power
-// as f·V², static power as V.
-//
-// Absolute watt values are calibration constants; every paper result is
-// reported normalized to the BFD baseline, which cancels them.
+// Package power holds the calibrated power models of the paper's servers.
+// The model type itself — linear-in-utilization between an idle and a busy
+// point, both scaling with the voltage/frequency level (Pedram & Hwang,
+// ICPPW 2010) — is the public contract model.PowerModel; this package only
+// provides the fitted instances.
 package power
 
-import (
-	"fmt"
-	"time"
-)
+import "repro/pkg/dcsim/model"
 
-// Level is one voltage/frequency operating point.
-type Level struct {
-	Freq float64 // GHz
-	Volt float64 // volts
-}
+// Level is one voltage/frequency operating point. It is the contract type
+// model.PowerLevel.
+type Level = model.PowerLevel
 
-// Model computes server power as a function of utilization and level.
-type Model struct {
-	Name string
-	// Levels must be ascending in frequency and cover every frequency the
-	// paired server.Spec can select.
-	Levels []Level
-	// IdleW and BusyW are the idle and fully-utilized power draw at the
-	// highest level, in watts.
-	IdleW float64
-	BusyW float64
-	// StaticFrac is the fraction of idle power that is static (leakage,
-	// fans, chipset) and scales only with V; the rest of idle and all of
-	// (BusyW-IdleW) are treated as dynamic and scale with f·V².
-	StaticFrac float64
-}
-
-// Validate reports whether the model is usable.
-func (m Model) Validate() error {
-	if len(m.Levels) == 0 {
-		return fmt.Errorf("power: %q has no levels", m.Name)
-	}
-	for i, l := range m.Levels {
-		if l.Freq <= 0 || l.Volt <= 0 {
-			return fmt.Errorf("power: %q level %d non-positive", m.Name, i)
-		}
-		if i > 0 && l.Freq <= m.Levels[i-1].Freq {
-			return fmt.Errorf("power: %q levels not ascending", m.Name)
-		}
-	}
-	if m.BusyW < m.IdleW {
-		return fmt.Errorf("power: %q busy %v < idle %v", m.Name, m.BusyW, m.IdleW)
-	}
-	if m.StaticFrac < 0 || m.StaticFrac > 1 {
-		return fmt.Errorf("power: %q static fraction %v out of [0,1]", m.Name, m.StaticFrac)
-	}
-	return nil
-}
-
-func (m Model) level(f float64) (Level, error) {
-	for _, l := range m.Levels {
-		if l.Freq == f {
-			return l, nil
-		}
-	}
-	return Level{}, fmt.Errorf("power: %q has no level at %v GHz", m.Name, f)
-}
-
-func (m Model) top() Level { return m.Levels[len(m.Levels)-1] }
-
-// scales returns the dynamic (f·V²) and static (V) scaling factors of level
-// l relative to the top level.
-func (m Model) scales(l Level) (dyn, stat float64) {
-	t := m.top()
-	dyn = (l.Freq * l.Volt * l.Volt) / (t.Freq * t.Volt * t.Volt)
-	stat = l.Volt / t.Volt
-	return dyn, stat
-}
-
-// Power returns the server draw in watts at utilization u (fraction of the
-// capacity available at frequency f, clipped to [0,1]) when running at
-// frequency level f. It returns an error when f is not one of the model's
-// levels.
-func (m Model) Power(u, f float64) (float64, error) {
-	l, err := m.level(f)
-	if err != nil {
-		return 0, err
-	}
-	if u < 0 {
-		u = 0
-	}
-	if u > 1 {
-		u = 1
-	}
-	dyn, stat := m.scales(l)
-	idleStatic := m.IdleW * m.StaticFrac
-	idleDynamic := m.IdleW * (1 - m.StaticFrac)
-	idle := idleStatic*stat + idleDynamic*dyn
-	span := (m.BusyW - m.IdleW) * dyn
-	return idle + span*u, nil
-}
-
-// Energy returns the energy in joules consumed over dt at utilization u and
-// frequency f.
-func (m Model) Energy(u, f float64, dt time.Duration) (float64, error) {
-	p, err := m.Power(u, f)
-	if err != nil {
-		return 0, err
-	}
-	return p * dt.Seconds(), nil
-}
+// Model computes server power as a function of utilization and level. It is
+// the contract type model.PowerModel.
+type Model = model.PowerModel
 
 // XeonE5410 returns a model calibrated for the paper's Setup-2 server:
 // two levels, 2.0 GHz / 1.10 V and 2.3 GHz / 1.20 V. Idle/busy watts follow

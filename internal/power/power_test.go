@@ -16,10 +16,10 @@ func TestValidate(t *testing.T) {
 	}
 	bad := []Model{
 		{Name: "no-levels", IdleW: 1, BusyW: 2},
-		{Name: "neg", Levels: []Level{{-1, 1}}, IdleW: 1, BusyW: 2},
-		{Name: "unsorted", Levels: []Level{{2, 1}, {1, 1}}, IdleW: 1, BusyW: 2},
-		{Name: "busy<idle", Levels: []Level{{1, 1}}, IdleW: 3, BusyW: 2},
-		{Name: "badfrac", Levels: []Level{{1, 1}}, IdleW: 1, BusyW: 2, StaticFrac: 2},
+		{Name: "neg", Levels: []Level{{Freq: -1, Volt: 1}}, IdleW: 1, BusyW: 2},
+		{Name: "unsorted", Levels: []Level{{Freq: 2, Volt: 1}, {Freq: 1, Volt: 1}}, IdleW: 1, BusyW: 2},
+		{Name: "busy<idle", Levels: []Level{{Freq: 1, Volt: 1}}, IdleW: 3, BusyW: 2},
+		{Name: "badfrac", Levels: []Level{{Freq: 1, Volt: 1}}, IdleW: 1, BusyW: 2, StaticFrac: 2},
 	}
 	for _, m := range bad {
 		if err := m.Validate(); err == nil {

@@ -5,22 +5,21 @@
 // violations to prediction error.
 package predict
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/pkg/dcsim/model"
+)
 
 // Predictor forecasts the next per-period reference utilization from the
-// history of past ones (oldest first). Implementations must return a
-// non-negative value and must cope with short histories.
-type Predictor interface {
-	// Predict returns the forecast for the next period. An empty history
-	// yields 0 (callers typically fall back to a bootstrap placement).
-	Predict(history []float64) float64
-	Name() string
-}
+// history of past ones (oldest first). It is the contract type
+// model.Predictor.
+type Predictor = model.Predictor
 
 // LastValue predicts the previous period's value — the paper's choice.
 type LastValue struct{}
 
-// Predict implements Predictor.
+// Predict implements model.Predictor.
 func (LastValue) Predict(history []float64) float64 {
 	if len(history) == 0 {
 		return 0
@@ -28,13 +27,13 @@ func (LastValue) Predict(history []float64) float64 {
 	return history[len(history)-1]
 }
 
-// Name implements Predictor.
+// Name implements model.Predictor.
 func (LastValue) Name() string { return "last-value" }
 
 // MovingAverage predicts the mean of the last K values.
 type MovingAverage struct{ K int }
 
-// Predict implements Predictor.
+// Predict implements model.Predictor.
 func (m MovingAverage) Predict(history []float64) float64 {
 	if len(history) == 0 {
 		return 0
@@ -53,14 +52,14 @@ func (m MovingAverage) Predict(history []float64) float64 {
 	return sum / float64(k)
 }
 
-// Name implements Predictor.
+// Name implements model.Predictor.
 func (m MovingAverage) Name() string { return fmt.Sprintf("moving-average(%d)", m.K) }
 
 // EWMA predicts an exponentially weighted moving average with smoothing
 // factor Alpha in (0, 1]; larger Alpha weighs recent periods more.
 type EWMA struct{ Alpha float64 }
 
-// Predict implements Predictor.
+// Predict implements model.Predictor.
 func (e EWMA) Predict(history []float64) float64 {
 	if len(history) == 0 {
 		return 0
@@ -76,14 +75,14 @@ func (e EWMA) Predict(history []float64) float64 {
 	return v
 }
 
-// Name implements Predictor.
+// Name implements model.Predictor.
 func (e EWMA) Name() string { return fmt.Sprintf("ewma(%.2f)", e.Alpha) }
 
 // MaxOf predicts the maximum of the last K values — a conservative
 // (over-provisioning) forecaster.
 type MaxOf struct{ K int }
 
-// Predict implements Predictor.
+// Predict implements model.Predictor.
 func (m MaxOf) Predict(history []float64) float64 {
 	if len(history) == 0 {
 		return 0
@@ -104,5 +103,5 @@ func (m MaxOf) Predict(history []float64) float64 {
 	return max
 }
 
-// Name implements Predictor.
+// Name implements model.Predictor.
 func (m MaxOf) Name() string { return fmt.Sprintf("max-of(%d)", m.K) }

@@ -12,25 +12,13 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/place"
-	"repro/internal/power"
-	"repro/internal/predict"
-	"repro/internal/server"
 	"repro/internal/vmmodel"
+	"repro/pkg/dcsim/model"
 )
 
-// Governor chooses server frequency levels.
-type Governor interface {
-	Name() string
-	// PlanStatic returns the per-server level at placement time, from
-	// the predicted per-VM references for the coming period.
-	PlanStatic(p *place.Placement, refs []float64, spec server.Spec) []float64
-	// Rescale returns the level for one server for the next rescale
-	// interval. recentRefs holds the per-VM references measured over the
-	// recent window; aggPeak is the server's aggregate demand peak over
-	// the same window (what a per-server DVFS governor observes).
-	Rescale(members []int, recentRefs []float64, aggPeak float64, spec server.Spec) float64
-}
+// Governor chooses server frequency levels. It is the contract type
+// model.Governor.
+type Governor = model.Governor
 
 // WorstCase is the correlation-oblivious governor the BFD and PCP baselines
 // use. Statically it runs each server at the lowest level whose capacity
@@ -40,16 +28,16 @@ type Governor interface {
 // aggregate demand peak.
 type WorstCase struct{}
 
-// Name implements Governor.
+// Name implements model.Governor.
 func (WorstCase) Name() string { return "worst-case" }
 
-// PlanStatic implements Governor.
-func (WorstCase) PlanStatic(p *place.Placement, refs []float64, spec server.Spec) []float64 {
+// PlanStatic implements model.Governor.
+func (WorstCase) PlanStatic(p *model.Placement, refs []float64, spec model.ServerSpec) []float64 {
 	return core.WorstCaseFreqPlan(p, refs, spec)
 }
 
-// Rescale implements Governor.
-func (WorstCase) Rescale(members []int, recentRefs []float64, aggPeak float64, spec server.Spec) float64 {
+// Rescale implements model.Governor.
+func (WorstCase) Rescale(members []int, recentRefs []float64, aggPeak float64, spec model.ServerSpec) float64 {
 	return spec.MinLevelForDemand(aggPeak)
 }
 
@@ -59,28 +47,28 @@ func (WorstCase) Rescale(members []int, recentRefs []float64, aggPeak float64, s
 // (early in a monitoring window) costs default to 1 and the governor
 // behaves like WorstCase — the safe direction.
 type CorrAware struct {
-	Matrix *core.CostMatrix
+	Matrix model.CostSource
 }
 
-// Name implements Governor.
+// Name implements model.Governor.
 func (g CorrAware) Name() string { return "eqn4" }
 
-// PlanStatic implements Governor.
-func (g CorrAware) PlanStatic(p *place.Placement, refs []float64, spec server.Spec) []float64 {
+// PlanStatic implements model.Governor.
+func (g CorrAware) PlanStatic(p *model.Placement, refs []float64, spec model.ServerSpec) []float64 {
 	return core.FreqPlan(p, refs, g.Matrix.Cost, spec)
 }
 
-// Rescale implements Governor.
-func (g CorrAware) Rescale(members []int, recentRefs []float64, aggPeak float64, spec server.Spec) float64 {
+// Rescale implements model.Governor.
+func (g CorrAware) Rescale(members []int, recentRefs []float64, aggPeak float64, spec model.ServerSpec) float64 {
 	return core.FreqForServer(members, recentRefs, g.Matrix.Cost, spec)
 }
 
 // Config parameterizes one simulation run.
 type Config struct {
-	Spec       server.Spec
-	Power      power.Model
-	Policy     place.Policy
-	Governor   Governor
+	Spec       model.ServerSpec
+	Power      model.PowerModel
+	Policy     model.Policy
+	Governor   model.Governor
 	MaxServers int
 	// PeriodSamples is tperiod in samples (paper: 720 = 1 h of 5-s
 	// samples).
@@ -95,12 +83,12 @@ type Config struct {
 	OffPctl float64
 	// Predictor forecasts next-period references from per-period history
 	// (paper: last-value).
-	Predictor predict.Predictor
+	Predictor model.Predictor
 	// Matrix, when set, is fed every utilization sample and reset at
 	// each period boundary, so at placement time it holds the previous
 	// period's statistics — the UPDATE phase of Fig. 2. Policies and
 	// governors that want correlation data should share this instance.
-	Matrix *core.CostMatrix
+	Matrix model.CostSource
 	// CumulativeMatrix keeps the matrix across period boundaries instead
 	// of resetting it, trading sensitivity to time-varying correlation
 	// for estimates that are never cold. Ablation A6 studies the trade.
@@ -164,56 +152,16 @@ func (c *Config) validate(nVMs int) error {
 	return nil
 }
 
-// SampleStats is the per-sample snapshot streamed to Config.OnSample.
-type SampleStats struct {
-	K             int // global sample index in [0, periods*PeriodSamples)
-	Period        int
-	ActiveServers int
-	PowerW        float64 // aggregate power draw at this instant
-	Violations    int     // servers whose demand exceeded capacity at this instant
-}
+// SampleStats is the per-sample snapshot streamed to Config.OnSample. It
+// is the contract type model.SampleStats.
+type SampleStats = model.SampleStats
 
-// PeriodStats summarizes one placement period.
-type PeriodStats struct {
-	Period          int
-	ActiveServers   int
-	EnergyJ         float64
-	MaxViolationPct float64 // worst per-server violating-sample fraction, %
-	// Migrations counts VMs whose server changed versus the previous
-	// period (0 for the first period). Live migration is not free in
-	// practice (pMapper), so policies that thrash placements pay a cost
-	// this simulator surfaces even though it does not model the
-	// migration's own overhead.
-	Migrations int
-}
+// PeriodStats summarizes one placement period. It is the contract type
+// model.PeriodStats.
+type PeriodStats = model.PeriodStats
 
-// Result aggregates a full run.
-type Result struct {
-	Policy   string
-	Governor string
-	Dynamic  bool
-
-	EnergyJ          float64
-	MeanPowerW       float64
-	MaxViolationPct  float64 // max over periods and servers (the paper's metric)
-	MeanViolationPct float64 // mean over periods of the per-period max
-	MeanActive       float64
-	TotalMigrations  int // placement churn summed over all period boundaries
-
-	// FreqResidency[s][l] counts samples server s spent at level l
-	// (indexed as in Spec.Freqs) while active. Fig. 6 reads this.
-	FreqResidency [][]int
-
-	Periods []PeriodStats
-}
-
-// NormalizedPower returns r's energy relative to a baseline run.
-func (r *Result) NormalizedPower(baseline *Result) float64 {
-	if baseline.EnergyJ == 0 {
-		return 0
-	}
-	return r.EnergyJ / baseline.EnergyJ
-}
+// Result aggregates a full run. It is the contract type model.Result.
+type Result = model.Result
 
 // Run simulates the given VMs under cfg. All VM demand traces must share
 // interval and length; the horizon is truncated to whole periods.
@@ -293,7 +241,7 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 		// period has no history; bootstrap with its own measured
 		// references (identically for every policy, so comparisons
 		// stay fair).
-		reqs := make([]place.Request, len(vms))
+		reqs := make([]model.Request, len(vms))
 		refs := make([]float64, len(vms))
 		for i, v := range vms {
 			var ref, off float64
@@ -310,7 +258,7 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 				off = cfg.Predictor.Predict(offHist[i])
 			}
 			refs[i] = ref
-			reqs[i] = place.Request{
+			reqs[i] = model.Request{
 				ID:      v.ID,
 				Ref:     ref,
 				OffPeak: off,
@@ -491,7 +439,7 @@ func Run(vms []*vmmodel.VM, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func feedMatrix(m *core.CostMatrix, vms []*vmmodel.VM, scratch []float64, from, to int) {
+func feedMatrix(m model.CostSource, vms []*vmmodel.VM, scratch []float64, from, to int) {
 	for k := from; k < to; k++ {
 		for i, v := range vms {
 			scratch[i] = v.Demand.At(k)

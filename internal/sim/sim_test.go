@@ -13,6 +13,7 @@ import (
 	"repro/internal/synth"
 	"repro/internal/trace"
 	"repro/internal/vmmodel"
+	"repro/pkg/dcsim/model"
 )
 
 // flatVMs builds n VMs with constant demand level over samples samples.
@@ -219,7 +220,7 @@ func TestEndToEndPoliciesOnSyntheticTraces(t *testing.T) {
 	ds := synth.Datacenter(cfg)
 	vms := vmmodel.FromSeries(ds.Names, ds.Fine)
 
-	run := func(policy place.Policy, gov Governor, matrix *core.CostMatrix) *Result {
+	run := func(policy model.Policy, gov model.Governor, matrix model.CostSource) *Result {
 		c := baseConfig()
 		c.Policy = policy
 		c.Governor = gov

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
 )
 
 // DatacenterConfig parameterizes the synthetic stand-in for the paper's
@@ -50,13 +51,9 @@ func DefaultDatacenterConfig() DatacenterConfig {
 	}
 }
 
-// Dataset is a generated set of VM demand traces.
-type Dataset struct {
-	Names  []string        // one per VM
-	Group  []int           // service group index per VM
-	Coarse []*trace.Series // coarse (5-min) means per VM
-	Fine   []*trace.Series // fine (5-s) demand per VM, in cores
-}
+// Dataset is a generated set of VM demand traces. It is the contract type
+// model.Dataset.
+type Dataset = model.Dataset
 
 // Datacenter generates a Dataset according to cfg. The same config always
 // yields the same traces.

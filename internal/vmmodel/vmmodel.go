@@ -1,50 +1,26 @@
-// Package vmmodel represents virtual machines as consolidation sees them: a
-// name, a CPU demand trace, and the streaming monitoring state from which
-// the per-window reference utilization û (peak or Nth percentile) is drawn.
+// Package vmmodel represents virtual machines as consolidation sees them.
+// The VM type itself — a name plus a CPU demand trace — is the public
+// contract model.VM; this package adds the streaming monitoring state from
+// which the per-window reference utilization û (peak or Nth percentile) is
+// drawn.
 package vmmodel
 
 import (
-	"fmt"
-
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
 )
 
-// VM is one virtual machine with its full-horizon demand trace.
-type VM struct {
-	ID     string
-	Demand *trace.Series // CPU demand in core-equivalents
-}
+// VM is one virtual machine with its full-horizon demand trace. It is the
+// contract type model.VM.
+type VM = model.VM
 
 // New returns a VM over the given demand trace.
-func New(id string, demand *trace.Series) *VM {
-	if demand == nil {
-		panic("vmmodel: nil demand trace")
-	}
-	return &VM{ID: id, Demand: demand}
-}
-
-// String implements fmt.Stringer.
-func (v *VM) String() string {
-	return fmt.Sprintf("%s(%d samples @ %v)", v.ID, v.Demand.Len(), v.Demand.Interval())
-}
-
-// RefOver returns the reference utilization û of the demand over the sample
-// window [from, to): the peak when pctl >= 1, otherwise the percentile.
-func (v *VM) RefOver(from, to int, pctl float64) float64 {
-	return v.Demand.Slice(from, to).Ref(pctl)
-}
+func New(id string, demand *trace.Series) *VM { return model.NewVM(id, demand) }
 
 // FromSeries builds a VM slice from parallel name and series slices.
 func FromSeries(names []string, demands []*trace.Series) []*VM {
-	if len(names) != len(demands) {
-		panic(fmt.Sprintf("vmmodel: %d names for %d series", len(names), len(demands)))
-	}
-	vms := make([]*VM, len(names))
-	for i := range names {
-		vms[i] = New(names[i], demands[i])
-	}
-	return vms
+	return model.VMsFromSeries(names, demands)
 }
 
 // Monitor tracks the reference utilization of one VM on-line. It wraps a P²

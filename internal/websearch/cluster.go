@@ -10,6 +10,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
 )
 
 // ISN is one index-serving node (a VM). WorkMult models dataset skew: the
@@ -86,35 +87,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Placement maps each ISN (by index in Config.ISNs) to a pool. Pools are
-// identified by dense indices; PoolCores and PoolSpeed size each pool.
-type Placement struct {
-	Name      string
-	PoolOf    []int     // per ISN: pool index
-	PoolCores []int     // per pool: core count
-	PoolSpeed []float64 // per pool: f/fmax relative speed
-}
-
-// Validate checks placement shape against a config.
-func (p *Placement) Validate(cfg *Config) error {
-	if len(p.PoolOf) != len(cfg.ISNs) {
-		return fmt.Errorf("websearch: placement covers %d ISNs, config has %d", len(p.PoolOf), len(cfg.ISNs))
-	}
-	if len(p.PoolCores) != len(p.PoolSpeed) {
-		return fmt.Errorf("websearch: %d pool sizes vs %d speeds", len(p.PoolCores), len(p.PoolSpeed))
-	}
-	for i, pl := range p.PoolOf {
-		if pl < 0 || pl >= len(p.PoolCores) {
-			return fmt.Errorf("websearch: ISN %d assigned to pool %d of %d", i, pl, len(p.PoolCores))
-		}
-	}
-	for i, c := range p.PoolCores {
-		if c <= 0 || p.PoolSpeed[i] <= 0 {
-			return fmt.Errorf("websearch: pool %d has cores %d speed %v", i, c, p.PoolSpeed[i])
-		}
-	}
-	return nil
-}
+// Placement maps each ISN (by index in Config.ISNs) to a pool. It is the
+// contract type model.WebSearchPlacement.
+type Placement = model.WebSearchPlacement
 
 // Standard placements of the paper's Fig. 4, for two 8-core servers and
 // four ISNs ordered as in DefaultConfig. speed is f/fmax for every pool.
@@ -152,28 +127,9 @@ func SharedCorr(speed float64) *Placement {
 	}
 }
 
-// Result holds a run's measurements.
-type Result struct {
-	Placement string
-	// P90 per cluster: the 90th-percentile response time in seconds.
-	P90 []float64
-	// P99 per cluster: the 99th-percentile response time in seconds.
-	P99 []float64
-	// Mean per cluster: mean response time in seconds.
-	Mean []float64
-	// Queries per cluster.
-	Queries []int
-	// VMUtil is the per-ISN CPU utilization trace in core-equivalents.
-	VMUtil []*trace.Series
-	// PoolUtil is the per-pool utilization trace normalized to the
-	// pool's full-speed core count (0..1, can exceed f/fmax only never).
-	PoolUtil []*trace.Series
-	// PoolCores is the per-pool online core count over time (constant
-	// unless a parking controller is attached).
-	PoolCores []*trace.Series
-	// ClientTrace samples each cluster's client wave.
-	ClientTrace []*trace.Series
-}
+// Result holds a run's measurements. It is the contract type
+// model.WebSearchRun.
+type Result = model.WebSearchRun
 
 // Run simulates the configuration under the placement.
 func Run(cfg Config, pl *Placement) (*Result, error) {
@@ -191,7 +147,7 @@ func Run(cfg Config, pl *Placement) (*Result, error) {
 			return nil, fmt.Errorf("websearch: ISN %d has non-positive work multiplier", i)
 		}
 	}
-	if err := pl.Validate(&cfg); err != nil {
+	if err := pl.Validate(len(cfg.ISNs)); err != nil {
 		return nil, err
 	}
 

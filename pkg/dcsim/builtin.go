@@ -1,0 +1,97 @@
+// builtin.go wires the engine's implementations into the registries. It is
+// the only façade file that touches the unexported engine packages: every
+// exported dcsim signature speaks pkg/dcsim/model, and an out-of-tree
+// module registers its components exactly the way this file registers the
+// built-ins.
+package dcsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/predict"
+	"repro/internal/reg"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/pkg/dcsim/model"
+)
+
+var (
+	policyReg    = reg.New[PolicyFactory]("dcsim", "policy")
+	governorReg  = reg.New[GovernorFactory]("dcsim", "governor")
+	predictorReg = reg.New[PredictorFactory]("dcsim", "predictor")
+	serverReg    = reg.New[ServerModel]("dcsim", "server model")
+)
+
+// newCostSource builds the engine's streaming Eqn-1 cost matrix — the
+// CostSource implementation Build.Matrix hands to components.
+func newCostSource(n int, pctl float64) model.CostSource {
+	return core.NewCostMatrix(n, pctl)
+}
+
+func init() {
+	// Placement policies. "corr" is a convenience alias for the paper's
+	// correlation-aware allocator.
+	corrAware := func(b *Build) (model.Policy, error) {
+		cfg := core.DefaultConfig()
+		if b.Scenario.Pctl > 0 {
+			cfg.Pctl = b.Scenario.Pctl
+		}
+		cfg.THCost = b.Param("thcost", cfg.THCost)
+		cfg.Alpha = b.Param("alpha", cfg.Alpha)
+		// alloc_block bounds each server fill's candidate set (0 = exact
+		// Fig.-2 semantics) — the sub-quadratic mode for 10k-VM scenarios.
+		if blk := b.Param("alloc_block", 0); blk != 0 {
+			if blk != math.Trunc(blk) || blk < 1 {
+				return nil, fmt.Errorf("dcsim: param %q must be a positive integer, got %v", "alloc_block", blk)
+			}
+			cfg.Block = int(blk)
+		}
+		return &core.Allocator{Config: cfg, Matrix: b.Matrix()}, nil
+	}
+	RegisterPolicy("corr-aware", corrAware)
+	RegisterPolicy("corr", corrAware)
+	RegisterPolicy("ffd", func(*Build) (model.Policy, error) { return place.FFD{}, nil })
+	RegisterPolicy("bfd", func(*Build) (model.Policy, error) { return place.BFD{}, nil })
+	RegisterPolicy("pcp", func(*Build) (model.Policy, error) { return place.PCP{}, nil })
+	RegisterPolicy("jointvm", func(*Build) (model.Policy, error) { return place.JointVM{}, nil })
+
+	// Frequency governors. "corr-aware" aliases the paper's Eqn-4 governor.
+	eqn4 := func(b *Build) (model.Governor, error) {
+		return sim.CorrAware{Matrix: b.Matrix()}, nil
+	}
+	RegisterGovernor("eqn4", eqn4)
+	RegisterGovernor("corr-aware", eqn4)
+	RegisterGovernor("worst-case", func(*Build) (model.Governor, error) { return sim.WorstCase{}, nil })
+
+	// Workload predictors (defaults are the paper's/DESIGN.md choices;
+	// scenario params override the window/smoothing knobs).
+	RegisterPredictor("last-value", func(*Build) (model.Predictor, error) { return predict.LastValue{}, nil })
+	RegisterPredictor("moving-average", func(b *Build) (model.Predictor, error) {
+		k, err := b.IntParam("ma_k", 3)
+		if err != nil {
+			return nil, err
+		}
+		return predict.MovingAverage{K: k}, nil
+	})
+	RegisterPredictor("ewma", func(b *Build) (model.Predictor, error) {
+		return predict.EWMA{Alpha: b.Param("ewma_alpha", 0.5)}, nil
+	})
+	RegisterPredictor("max-of", func(b *Build) (model.Predictor, error) {
+		k, err := b.IntParam("maxof_k", 3)
+		if err != nil {
+			return nil, err
+		}
+		return predict.MaxOf{K: k}, nil
+	})
+
+	// Server models. The Opteron has no fitted power model in the repo, so
+	// the consolidation runs offer the Xeon and its hypothetical six-level
+	// variant (ablation A7's hardware axis); the web-search testbed pins
+	// its own hardware.
+	RegisterServer("xeon-e5410", ServerModel{Spec: server.XeonE5410(), Power: power.XeonE5410()})
+	RegisterServer("xeon-6level", ServerModel{Spec: server.XeonFineGrained(), Power: power.XeonFineGrained()})
+}

@@ -1,0 +1,131 @@
+// contract_test exercises the façade exactly as an out-of-tree module
+// would: implement the pkg/dcsim/model contracts, register through
+// pkg/dcsim, select by name — importing nothing else from this repository.
+package dcsim_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/pkg/dcsim"
+	"repro/pkg/dcsim/model"
+)
+
+// onePerServer places VM i on server i — the simplest possible external
+// policy, written against model types alone.
+type onePerServer struct{}
+
+func (onePerServer) Name() string { return "one-per-server" }
+
+func (onePerServer) Place(reqs []model.Request, spec model.ServerSpec, maxServers int) (*model.Placement, error) {
+	if maxServers < 1 {
+		return nil, model.ErrNoServers
+	}
+	n := len(reqs)
+	if n > maxServers {
+		n = maxServers
+	}
+	assign := make([]int, len(reqs))
+	for i := range assign {
+		assign[i] = i % n
+	}
+	return &model.Placement{NumServers: n, Assign: assign}, nil
+}
+
+// meanOf is an external predictor: the plain mean of the whole history.
+type meanOf struct{}
+
+func (meanOf) Name() string { return "mean-of-history" }
+
+func (meanOf) Predict(history []float64) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range history {
+		sum += v
+	}
+	return sum / float64(len(history))
+}
+
+func TestOutOfTreeComponentsThroughFacade(t *testing.T) {
+	var _ model.Policy = onePerServer{}
+	var _ model.Predictor = meanOf{}
+
+	dcsim.RegisterPolicy("one-per-server-test", func(b *dcsim.Build) (model.Policy, error) {
+		// External factories get the same Build the built-ins do: the
+		// shared cost source and the params contract are available.
+		if b.NVMs < 1 {
+			t.Errorf("Build.NVMs = %d", b.NVMs)
+		}
+		return onePerServer{}, nil
+	})
+	dcsim.RegisterPredictor("mean-of-history-test", func(*dcsim.Build) (model.Predictor, error) {
+		return meanOf{}, nil
+	})
+
+	sc := dcsim.New(
+		dcsim.WithVMs(8),
+		dcsim.WithGroups(2),
+		dcsim.WithHours(3),
+		dcsim.WithMaxServers(8),
+		dcsim.WithPolicy("one-per-server-test"),
+		dcsim.WithGovernor("worst-case"),
+		dcsim.WithPredictor("mean-of-history-test"),
+	)
+	res, err := dcsim.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "one-per-server" {
+		t.Errorf("ran policy %q, want the external one", res.Policy)
+	}
+	// One VM per server: every period keeps all 8 servers active.
+	if res.MeanActive != 8 {
+		t.Errorf("MeanActive = %v, want 8 (one VM per server)", res.MeanActive)
+	}
+}
+
+func TestExternalGovernorThroughFacade(t *testing.T) {
+	// A fixed-top-level governor implemented on model types only.
+	dcsim.RegisterGovernor("always-fmax-test", func(*dcsim.Build) (model.Governor, error) {
+		return fmaxGovernor{}, nil
+	})
+	sc := dcsim.New(
+		dcsim.WithVMs(8),
+		dcsim.WithGroups(2),
+		dcsim.WithHours(3),
+		dcsim.WithMaxServers(4),
+		dcsim.WithPolicy("bfd"),
+		dcsim.WithGovernor("always-fmax-test"),
+	)
+	res, err := dcsim.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every active-server sample must sit on the top level: residency on
+	// lower levels stays zero.
+	for s, counts := range res.FreqResidency {
+		for l := 0; l < len(counts)-1; l++ {
+			if counts[l] != 0 {
+				t.Fatalf("server %d spent %d samples below fmax", s, counts[l])
+			}
+		}
+	}
+}
+
+type fmaxGovernor struct{}
+
+func (fmaxGovernor) Name() string { return "always-fmax" }
+
+func (fmaxGovernor) PlanStatic(p *model.Placement, refs []float64, spec model.ServerSpec) []float64 {
+	out := make([]float64, p.NumServers)
+	for i := range out {
+		out[i] = spec.FMax()
+	}
+	return out
+}
+
+func (fmaxGovernor) Rescale(members []int, recentRefs []float64, aggPeak float64, spec model.ServerSpec) float64 {
+	return spec.FMax()
+}

@@ -19,23 +19,25 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/synth"
-	"repro/internal/trace"
 	"repro/internal/vmmodel"
+	"repro/pkg/dcsim/model"
 )
 
-// Result aggregates a finished (or cancelled) run. It is the simulator's
-// result type re-exported as the façade's stable name.
-type Result = sim.Result
+// Result aggregates a finished (or cancelled) run. It is the contract type
+// model.Result.
+type Result = model.Result
 
-// VM is one simulated virtual machine with its demand trace.
-type VM = vmmodel.VM
+// VM is one simulated virtual machine with its demand trace. It is the
+// contract type model.VM.
+type VM = model.VM
 
 // Dataset is a generated set of named VM demand traces at coarse and fine
-// granularity.
-type Dataset = synth.Dataset
+// granularity. It is the contract type model.Dataset.
+type Dataset = model.Dataset
 
-// Series is a fixed-interval time series of utilization samples.
-type Series = trace.Series
+// Series is a fixed-interval time series of utilization samples. It is the
+// contract type model.Series.
+type Series = model.Series
 
 // kindErr reports an unknown workload kind; the empty kind means the
 // default "datacenter".

@@ -4,10 +4,9 @@
 // rather than inside it — because the experiment drivers themselves
 // assemble their runs through pkg/dcsim.
 //
-// Register is usable only from within this module: Runner names
-// internal/exp.Options, so out-of-tree modules cannot implement it. Lifting
-// the experiment options into the public API is a ROADMAP open item,
-// alongside the equivalent caveat for dcsim.Policy/Governor.
+// A Runner takes the serializable contract type model.RunOptions, so an
+// artifact implemented in another Go module can call Register and be
+// selected by name exactly like the built-ins.
 package experiments
 
 import (
@@ -15,10 +14,11 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/reg"
+	"repro/pkg/dcsim/model"
 )
 
 // Runner regenerates one artifact at the given scale.
-type Runner func(o exp.Options) (fmt.Stringer, error)
+type Runner func(o model.RunOptions) (fmt.Stringer, error)
 
 var registry = reg.New[Runner]("experiments", "artifact")
 
@@ -30,20 +30,26 @@ func Register(name string, r Runner) { registry.Register(name, r) }
 // presentation order for the built-ins).
 func Names() []string { return registry.Ordered() }
 
+// Full returns the options reproducing the paper's published setups.
+func Full() model.RunOptions { return exp.Full() }
+
+// Quick returns the options with every horizon shrunk for smoke runs.
+func Quick() model.RunOptions { return exp.Quick() }
+
 // Run regenerates one artifact by name. quick shrinks horizons for smoke
 // runs while exercising the same code paths.
 func Run(name string, quick bool) (fmt.Stringer, error) {
-	o := exp.Full()
+	o := Full()
 	if quick {
-		o = exp.Quick()
+		o = Quick()
 	}
 	return RunOptions(name, o)
 }
 
 // RunOptions regenerates one artifact with explicit options — the way to
-// set sweep-engine parallelism (Options.Workers) for the ablation studies.
-// Results do not depend on the worker count.
-func RunOptions(name string, o exp.Options) (fmt.Stringer, error) {
+// set sweep-engine parallelism (RunOptions.Workers) for the ablation
+// studies. Results do not depend on the worker count.
+func RunOptions(name string, o model.RunOptions) (fmt.Stringer, error) {
 	r, err := registry.Lookup(name)
 	if err != nil {
 		return nil, err
@@ -51,22 +57,22 @@ func RunOptions(name string, o exp.Options) (fmt.Stringer, error) {
 	return r(o)
 }
 
-// ablation adapts an exp ablation study to the Runner signature.
-func ablation(f func(exp.Options) (*exp.AblationResult, error)) Runner {
-	return func(o exp.Options) (fmt.Stringer, error) { return f(o) }
+// ablation adapts an ablation study to the Runner signature.
+func ablation(f func(model.RunOptions) (*exp.AblationResult, error)) Runner {
+	return func(o model.RunOptions) (fmt.Stringer, error) { return f(o) }
 }
 
 func init() {
-	Register("fig1", func(o exp.Options) (fmt.Stringer, error) { return exp.Fig1(o) })
-	Register("tablei", func(o exp.Options) (fmt.Stringer, error) { return exp.TableI(o) })
-	Register("fig3", func(o exp.Options) (fmt.Stringer, error) { return exp.Fig3(o) })
-	Register("fig4", func(o exp.Options) (fmt.Stringer, error) { return exp.Fig4(o) })
-	Register("fig5", func(o exp.Options) (fmt.Stringer, error) { return exp.Fig5(o) })
-	Register("tableiia", func(o exp.Options) (fmt.Stringer, error) { return exp.TableII(o, false) })
-	Register("tableiib", func(o exp.Options) (fmt.Stringer, error) { return exp.TableII(o, true) })
-	Register("fig6", func(o exp.Options) (fmt.Stringer, error) { return exp.Fig6(o) })
-	Register("extended", func(o exp.Options) (fmt.Stringer, error) { return exp.TableIIExtended(o, false) })
-	Register("gating", func(o exp.Options) (fmt.Stringer, error) { return exp.PowerGating(o) })
+	Register("fig1", func(o model.RunOptions) (fmt.Stringer, error) { return exp.Fig1(o) })
+	Register("tablei", func(o model.RunOptions) (fmt.Stringer, error) { return exp.TableI(o) })
+	Register("fig3", func(o model.RunOptions) (fmt.Stringer, error) { return exp.Fig3(o) })
+	Register("fig4", func(o model.RunOptions) (fmt.Stringer, error) { return exp.Fig4(o) })
+	Register("fig5", func(o model.RunOptions) (fmt.Stringer, error) { return exp.Fig5(o) })
+	Register("tableiia", func(o model.RunOptions) (fmt.Stringer, error) { return exp.TableII(o, false) })
+	Register("tableiib", func(o model.RunOptions) (fmt.Stringer, error) { return exp.TableII(o, true) })
+	Register("fig6", func(o model.RunOptions) (fmt.Stringer, error) { return exp.Fig6(o) })
+	Register("extended", func(o model.RunOptions) (fmt.Stringer, error) { return exp.TableIIExtended(o, false) })
+	Register("gating", func(o model.RunOptions) (fmt.Stringer, error) { return exp.PowerGating(o) })
 	Register("a1", ablation(exp.AblationThreshold))
 	Register("a2", ablation(exp.AblationReference))
 	Register("a3", ablation(exp.AblationPredictor))

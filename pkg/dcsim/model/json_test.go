@@ -1,0 +1,52 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func roundTripJSON(t *testing.T, in any, out any) {
+	t.Helper()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSpecJSONRoundTrip(t *testing.T) {
+	s := ServerSpec{Name: "Intel Xeon E5410", Cores: 8, Freqs: []float64{2.0, 2.3}}
+	var back ServerSpec
+	roundTripJSON(t, s, &back)
+	if back.Name != s.Name || back.Cores != s.Cores || len(back.Freqs) != 2 {
+		t.Fatalf("round trip changed spec: %+v", back)
+	}
+}
+
+func TestPowerModelJSONRoundTrip(t *testing.T) {
+	m := PowerModel{
+		Name:       "x",
+		Levels:     []PowerLevel{{Freq: 2.0, Volt: 1.1}, {Freq: 2.3, Volt: 1.2}},
+		IdleW:      180,
+		BusyW:      265,
+		StaticFrac: 0.55,
+	}
+	var back PowerModel
+	roundTripJSON(t, m, &back)
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := m.Power(0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := back.Power(0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 != p1 {
+		t.Fatalf("power differs after round trip: %v vs %v", p0, p1)
+	}
+}

@@ -1,0 +1,53 @@
+package model
+
+// SampleStats is the per-sample snapshot a run streams to observers: one
+// instant of aggregate power, active-server count, and capacity violations.
+type SampleStats struct {
+	K             int // global sample index in [0, periods*PeriodSamples)
+	Period        int
+	ActiveServers int
+	PowerW        float64 // aggregate power draw at this instant
+	Violations    int     // servers whose demand exceeded capacity at this instant
+}
+
+// PeriodStats summarizes one placement period.
+type PeriodStats struct {
+	Period          int
+	ActiveServers   int
+	EnergyJ         float64
+	MaxViolationPct float64 // worst per-server violating-sample fraction, %
+	// Migrations counts VMs whose server changed versus the previous
+	// period (0 for the first period). Live migration is not free in
+	// practice (pMapper), so policies that thrash placements pay a cost
+	// the simulator surfaces even though it does not model the
+	// migration's own overhead.
+	Migrations int
+}
+
+// Result aggregates a full (or cancelled) simulation run.
+type Result struct {
+	Policy   string
+	Governor string
+	Dynamic  bool
+
+	EnergyJ          float64
+	MeanPowerW       float64
+	MaxViolationPct  float64 // max over periods and servers (the paper's metric)
+	MeanViolationPct float64 // mean over periods of the per-period max
+	MeanActive       float64
+	TotalMigrations  int // placement churn summed over all period boundaries
+
+	// FreqResidency[s][l] counts samples server s spent at level l
+	// (indexed as in ServerSpec.Freqs) while active. Fig. 6 reads this.
+	FreqResidency [][]int
+
+	Periods []PeriodStats
+}
+
+// NormalizedPower returns r's energy relative to a baseline run.
+func (r *Result) NormalizedPower(baseline *Result) float64 {
+	if baseline.EnergyJ == 0 {
+		return 0
+	}
+	return r.EnergyJ / baseline.EnergyJ
+}

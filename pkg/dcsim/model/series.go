@@ -1,0 +1,269 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Series is a fixed-interval time series of CPU demand samples in
+// core-equivalents: a value of 2.5 means the workload wanted two and a half
+// cores' worth of CPU during that sample. Using core units (rather than a
+// 0..1 fraction) lets the same series describe VMs of different sizes and
+// makes aggregation a plain sum.
+//
+// The zero value is an empty series with no interval; most callers should
+// use NewSeries or SeriesFromSamples.
+type Series struct {
+	interval time.Duration
+	samples  []float64
+}
+
+// NewSeries returns an empty series with the given sampling interval and
+// capacity.
+func NewSeries(interval time.Duration, capacity int) *Series {
+	if interval <= 0 {
+		panic("model: non-positive interval")
+	}
+	return &Series{interval: interval, samples: make([]float64, 0, capacity)}
+}
+
+// SeriesFromSamples wraps the given samples (without copying) in a series.
+func SeriesFromSamples(interval time.Duration, samples []float64) *Series {
+	if interval <= 0 {
+		panic("model: non-positive interval")
+	}
+	return &Series{interval: interval, samples: samples}
+}
+
+// Interval returns the sampling interval.
+func (s *Series) Interval() time.Duration { return s.interval }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Duration returns the time span covered by the series.
+func (s *Series) Duration() time.Duration {
+	return time.Duration(len(s.samples)) * s.interval
+}
+
+// At returns the i-th sample.
+func (s *Series) At(i int) float64 { return s.samples[i] }
+
+// Samples returns the underlying sample slice. Callers must not modify it
+// unless they own the series.
+func (s *Series) Samples() []float64 { return s.samples }
+
+// Append adds samples at the end of the series.
+func (s *Series) Append(v ...float64) { s.samples = append(s.samples, v...) }
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	out := make([]float64, len(s.samples))
+	copy(out, s.samples)
+	return &Series{interval: s.interval, samples: out}
+}
+
+// Slice returns a view of samples [from, to). The returned series shares
+// storage with s.
+func (s *Series) Slice(from, to int) *Series {
+	return &Series{interval: s.interval, samples: s.samples[from:to]}
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	max := 0.0
+	for i, v := range s.samples {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	min := 0.0
+	for i, v := range s.samples {
+		if i == 0 || v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Percentile returns the p-th percentile (p in [0,1]) using linear
+// interpolation between closest ranks. Percentile(1) equals Max().
+// It returns 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Min()
+	}
+	if p >= 1 {
+		return s.Max()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.samples)
+	sort.Float64s(sorted)
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ref returns the reference utilization û used throughout the paper: the
+// peak when pctl >= 1, otherwise the pctl-th percentile.
+func (s *Series) Ref(pctl float64) float64 {
+	if pctl >= 1 {
+		return s.Max()
+	}
+	return s.Percentile(pctl)
+}
+
+// Scale multiplies every sample by k in place and returns s.
+func (s *Series) Scale(k float64) *Series {
+	for i := range s.samples {
+		s.samples[i] *= k
+	}
+	return s
+}
+
+// Clip limits every sample to [lo, hi] in place and returns s.
+func (s *Series) Clip(lo, hi float64) *Series {
+	for i, v := range s.samples {
+		if v < lo {
+			s.samples[i] = lo
+		} else if v > hi {
+			s.samples[i] = hi
+		}
+	}
+	return s
+}
+
+// AddSeries returns a new series that is the element-wise sum of s and t.
+// Both series must have the same interval and length.
+func AddSeries(s, t *Series) (*Series, error) {
+	if s.interval != t.interval {
+		return nil, fmt.Errorf("model: interval mismatch %v vs %v", s.interval, t.interval)
+	}
+	if len(s.samples) != len(t.samples) {
+		return nil, fmt.Errorf("model: length mismatch %d vs %d", len(s.samples), len(t.samples))
+	}
+	out := make([]float64, len(s.samples))
+	for i := range out {
+		out[i] = s.samples[i] + t.samples[i]
+	}
+	return &Series{interval: s.interval, samples: out}, nil
+}
+
+// AggregateSeries returns the element-wise sum of all the given series,
+// which must share interval and length. Aggregating zero series is an error.
+func AggregateSeries(series ...*Series) (*Series, error) {
+	if len(series) == 0 {
+		return nil, errors.New("model: aggregate of zero series")
+	}
+	out := series[0].Clone()
+	for _, t := range series[1:] {
+		if t.interval != out.interval {
+			return nil, fmt.Errorf("model: interval mismatch %v vs %v", t.interval, out.interval)
+		}
+		if t.Len() != out.Len() {
+			return nil, fmt.Errorf("model: length mismatch %d vs %d", t.Len(), out.Len())
+		}
+		for i, v := range t.samples {
+			out.samples[i] += v
+		}
+	}
+	return out, nil
+}
+
+// Downsample returns a new series whose interval is factor times coarser,
+// with each output sample the mean of factor consecutive input samples.
+// A trailing partial window is averaged over the samples it has.
+func (s *Series) Downsample(factor int) *Series {
+	if factor <= 1 {
+		return s.Clone()
+	}
+	n := (len(s.samples) + factor - 1) / factor
+	out := make([]float64, 0, n)
+	for i := 0; i < len(s.samples); i += factor {
+		end := i + factor
+		if end > len(s.samples) {
+			end = len(s.samples)
+		}
+		sum := 0.0
+		for _, v := range s.samples[i:end] {
+			sum += v
+		}
+		out = append(out, sum/float64(end-i))
+	}
+	return &Series{interval: s.interval * time.Duration(factor), samples: out}
+}
+
+// Upsample returns a new series whose interval is factor times finer, with
+// each input sample repeated factor times. Fine-grained variability, when
+// wanted, is layered on by the workload generators.
+func (s *Series) Upsample(factor int) *Series {
+	if factor <= 1 {
+		return s.Clone()
+	}
+	out := make([]float64, 0, len(s.samples)*factor)
+	for _, v := range s.samples {
+		for k := 0; k < factor; k++ {
+			out = append(out, v)
+		}
+	}
+	return &Series{interval: s.interval / time.Duration(factor), samples: out}
+}
+
+// Windows calls fn for each consecutive window of size samples (the last
+// window may be shorter). fn receives the window start index and a view of
+// the window.
+func (s *Series) Windows(size int, fn func(start int, w *Series)) {
+	if size <= 0 {
+		panic("model: non-positive window size")
+	}
+	for i := 0; i < len(s.samples); i += size {
+		end := i + size
+		if end > len(s.samples) {
+			end = len(s.samples)
+		}
+		fn(i, s.Slice(i, end))
+	}
+}
+
+// Validate reports whether every sample is finite and non-negative — the
+// contract demand traces must satisfy before entering a simulation.
+func (s *Series) Validate() error {
+	for i, v := range s.samples {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("model: sample %d is not finite", i)
+		}
+		if v < 0 {
+			return fmt.Errorf("model: sample %d is negative (%v)", i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ServerSpec describes one homogeneous physical server model as the paper
+// assumes it: Cores cores and a small set of discrete voltage/frequency
+// levels. CPU capacity is expressed in core-equivalents and scales linearly
+// with the operating frequency, so a server at a reduced level offers
+// Cores·f/fmax cores' worth of throughput.
+type ServerSpec struct {
+	Name  string    `json:"name"`
+	Cores int       `json:"cores"`
+	Freqs []float64 `json:"freqs"` // available frequency levels in GHz, ascending
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s ServerSpec) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("model: server %q has %d cores", s.Name, s.Cores)
+	}
+	if len(s.Freqs) == 0 {
+		return fmt.Errorf("model: server %q has no frequency levels", s.Name)
+	}
+	if !sort.Float64sAreSorted(s.Freqs) {
+		return fmt.Errorf("model: server %q frequency levels not ascending: %v", s.Name, s.Freqs)
+	}
+	for _, f := range s.Freqs {
+		if f <= 0 {
+			return fmt.Errorf("model: server %q has non-positive frequency %v", s.Name, f)
+		}
+	}
+	return nil
+}
+
+// FMax returns the highest frequency level.
+func (s ServerSpec) FMax() float64 { return s.Freqs[len(s.Freqs)-1] }
+
+// FMin returns the lowest frequency level.
+func (s ServerSpec) FMin() float64 { return s.Freqs[0] }
+
+// CapacityAt returns the CPU capacity in core-equivalents when running at
+// frequency f.
+func (s ServerSpec) CapacityAt(f float64) float64 {
+	return float64(s.Cores) * f / s.FMax()
+}
+
+// Capacity returns the full capacity at fmax, i.e. the core count.
+func (s ServerSpec) Capacity() float64 { return float64(s.Cores) }
+
+// LevelFor returns the lowest available frequency level that is >= f,
+// or fmax when f exceeds every level. This is how the continuous Eqn-4
+// frequency is snapped to real hardware levels: always rounding up, so the
+// choice stays on the safe side.
+func (s ServerSpec) LevelFor(f float64) float64 {
+	for _, lvl := range s.Freqs {
+		if lvl >= f-1e-12 {
+			return lvl
+		}
+	}
+	return s.FMax()
+}
+
+// LevelIndex returns the index of the given frequency level, or -1 when f is
+// not one of the spec's levels.
+func (s ServerSpec) LevelIndex(f float64) int {
+	for i, lvl := range s.Freqs {
+		if lvl == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// MinLevelForDemand returns the lowest level whose capacity covers the given
+// demand (in cores); it returns fmax when even fmax cannot.
+func (s ServerSpec) MinLevelForDemand(demand float64) float64 {
+	for _, lvl := range s.Freqs {
+		if s.CapacityAt(lvl) >= demand-1e-12 {
+			return lvl
+		}
+	}
+	return s.FMax()
+}

@@ -1,0 +1,58 @@
+package model
+
+import "fmt"
+
+// WebSearchPlacement maps each index-serving node of the Setup-1 web-search
+// testbed (by ISN index) to a processor-sharing core pool. Pools are
+// identified by dense indices; PoolCores and PoolSpeed size each pool.
+type WebSearchPlacement struct {
+	Name      string    `json:"name"`
+	PoolOf    []int     `json:"pool_of"`    // per ISN: pool index
+	PoolCores []int     `json:"pool_cores"` // per pool: core count
+	PoolSpeed []float64 `json:"pool_speed"` // per pool: f/fmax relative speed
+}
+
+// Validate checks the placement's internal shape for nISNs index-serving
+// nodes.
+func (p *WebSearchPlacement) Validate(nISNs int) error {
+	if len(p.PoolOf) != nISNs {
+		return fmt.Errorf("model: placement covers %d ISNs, config has %d", len(p.PoolOf), nISNs)
+	}
+	if len(p.PoolCores) != len(p.PoolSpeed) {
+		return fmt.Errorf("model: %d pool sizes vs %d speeds", len(p.PoolCores), len(p.PoolSpeed))
+	}
+	for i, pl := range p.PoolOf {
+		if pl < 0 || pl >= len(p.PoolCores) {
+			return fmt.Errorf("model: ISN %d assigned to pool %d of %d", i, pl, len(p.PoolCores))
+		}
+	}
+	for i, c := range p.PoolCores {
+		if c <= 0 || p.PoolSpeed[i] <= 0 {
+			return fmt.Errorf("model: pool %d has cores %d speed %v", i, c, p.PoolSpeed[i])
+		}
+	}
+	return nil
+}
+
+// WebSearchRun holds one web-search testbed run's measurements.
+type WebSearchRun struct {
+	Placement string
+	// P90 per cluster: the 90th-percentile response time in seconds.
+	P90 []float64
+	// P99 per cluster: the 99th-percentile response time in seconds.
+	P99 []float64
+	// Mean per cluster: mean response time in seconds.
+	Mean []float64
+	// Queries per cluster.
+	Queries []int
+	// VMUtil is the per-ISN CPU utilization trace in core-equivalents.
+	VMUtil []*Series
+	// PoolUtil is the per-pool utilization trace normalized to the
+	// pool's full-speed core count.
+	PoolUtil []*Series
+	// PoolCores is the per-pool online core count over time (constant
+	// unless a parking controller is attached).
+	PoolCores []*Series
+	// ClientTrace samples each cluster's client wave.
+	ClientTrace []*Series
+}

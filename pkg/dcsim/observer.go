@@ -1,13 +1,15 @@
 package dcsim
 
-import "repro/internal/sim"
+import "repro/pkg/dcsim/model"
 
 // Sample is the per-sample snapshot streamed to observers: one instant of
-// aggregate power, active-server count, and capacity violations.
-type Sample = sim.SampleStats
+// aggregate power, active-server count, and capacity violations. It is the
+// contract type model.SampleStats.
+type Sample = model.SampleStats
 
-// Period summarizes one finished placement period.
-type Period = sim.PeriodStats
+// Period summarizes one finished placement period. It is the contract type
+// model.PeriodStats.
+type Period = model.PeriodStats
 
 // Observer receives streaming callbacks while a run is in flight, so long
 // simulations can emit live metrics instead of only a final Result.

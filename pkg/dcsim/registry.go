@@ -5,13 +5,7 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/place"
-	"repro/internal/power"
-	"repro/internal/predict"
-	"repro/internal/reg"
-	"repro/internal/server"
-	"repro/internal/sim"
+	"repro/pkg/dcsim/model"
 )
 
 // Build carries the per-run state component factories share. Its main job
@@ -24,7 +18,7 @@ type Build struct {
 	// NVMs is the number of VMs in the run.
 	NVMs int
 
-	matrix     *core.CostMatrix
+	matrix     model.CostSource
 	usedParams map[string]bool
 }
 
@@ -72,51 +66,45 @@ func (b *Build) unusedParamErr() error {
 		unused, sc.Policy, sc.Governor, sc.Predictor)
 }
 
-// Matrix returns the run's shared streaming cost matrix, creating it on
+// Matrix returns the run's shared streaming cost source, creating it on
 // first use. Run wires it into the simulator's monitoring loop whenever any
-// component asked for it.
-func (b *Build) Matrix() *core.CostMatrix {
+// component asked for it, so every component that calls Matrix reads the
+// same statistics the simulator feeds.
+func (b *Build) Matrix() model.CostSource {
 	if b.matrix == nil {
 		pctl := b.Scenario.Pctl
 		if pctl == 0 {
 			pctl = 1
 		}
-		b.matrix = core.NewCostMatrix(b.NVMs, pctl)
+		b.matrix = newCostSource(b.NVMs, pctl)
 	}
 	return b.matrix
 }
 
-// Policy is the placement-policy interface, re-exported so registrants can
-// name it through the façade.
-type Policy = place.Policy
+// Policy is the placement-policy contract model.Policy, re-exported so
+// registrants can name it through the façade.
+type Policy = model.Policy
 
-// Governor is the frequency-governor interface, re-exported for registrants.
-type Governor = sim.Governor
+// Governor is the frequency-governor contract model.Governor.
+type Governor = model.Governor
 
-// Predictor is the workload-predictor interface, re-exported for registrants.
-type Predictor = predict.Predictor
+// Predictor is the workload-predictor contract model.Predictor.
+type Predictor = model.Predictor
 
 // PolicyFactory builds a placement policy for one run.
-type PolicyFactory func(b *Build) (Policy, error)
+type PolicyFactory func(b *Build) (model.Policy, error)
 
 // GovernorFactory builds a frequency governor for one run.
-type GovernorFactory func(b *Build) (Governor, error)
+type GovernorFactory func(b *Build) (model.Governor, error)
 
 // PredictorFactory builds a workload predictor for one run.
-type PredictorFactory func(b *Build) (Predictor, error)
+type PredictorFactory func(b *Build) (model.Predictor, error)
 
 // ServerModel pairs a capacity spec with its power model.
 type ServerModel struct {
-	Spec  server.Spec
-	Power power.Model
+	Spec  model.ServerSpec
+	Power model.PowerModel
 }
-
-var (
-	policyReg    = reg.New[PolicyFactory]("dcsim", "policy")
-	governorReg  = reg.New[GovernorFactory]("dcsim", "governor")
-	predictorReg = reg.New[PredictorFactory]("dcsim", "predictor")
-	serverReg    = reg.New[ServerModel]("dcsim", "server model")
-)
 
 // RegisterPolicy adds a placement policy under a unique name; it panics on
 // empty or duplicate names (registration is init-time configuration).
@@ -144,7 +132,7 @@ func Predictors() []string { return predictorReg.Names() }
 func Servers() []string { return serverReg.Names() }
 
 // NewPolicy instantiates a registered policy by name for the given build.
-func NewPolicy(name string, b *Build) (place.Policy, error) {
+func NewPolicy(name string, b *Build) (model.Policy, error) {
 	f, err := policyReg.Lookup(name)
 	if err != nil {
 		return nil, err
@@ -153,7 +141,7 @@ func NewPolicy(name string, b *Build) (place.Policy, error) {
 }
 
 // NewGovernor instantiates a registered governor by name for the given build.
-func NewGovernor(name string, b *Build) (sim.Governor, error) {
+func NewGovernor(name string, b *Build) (model.Governor, error) {
 	f, err := governorReg.Lookup(name)
 	if err != nil {
 		return nil, err
@@ -162,7 +150,7 @@ func NewGovernor(name string, b *Build) (sim.Governor, error) {
 }
 
 // NewPredictor instantiates a registered predictor by name for the given build.
-func NewPredictor(name string, b *Build) (predict.Predictor, error) {
+func NewPredictor(name string, b *Build) (model.Predictor, error) {
 	f, err := predictorReg.Lookup(name)
 	if err != nil {
 		return nil, err
@@ -172,59 +160,3 @@ func NewPredictor(name string, b *Build) (predict.Predictor, error) {
 
 // LookupServer returns a registered server model by name.
 func LookupServer(name string) (ServerModel, error) { return serverReg.Lookup(name) }
-
-func init() {
-	// Placement policies. "corr" is a convenience alias for the paper's
-	// correlation-aware allocator.
-	corrAware := func(b *Build) (place.Policy, error) {
-		cfg := core.DefaultConfig()
-		if b.Scenario.Pctl > 0 {
-			cfg.Pctl = b.Scenario.Pctl
-		}
-		cfg.THCost = b.Param("thcost", cfg.THCost)
-		cfg.Alpha = b.Param("alpha", cfg.Alpha)
-		return &core.Allocator{Config: cfg, Matrix: b.Matrix()}, nil
-	}
-	RegisterPolicy("corr-aware", corrAware)
-	RegisterPolicy("corr", corrAware)
-	RegisterPolicy("ffd", func(*Build) (place.Policy, error) { return place.FFD{}, nil })
-	RegisterPolicy("bfd", func(*Build) (place.Policy, error) { return place.BFD{}, nil })
-	RegisterPolicy("pcp", func(*Build) (place.Policy, error) { return place.PCP{}, nil })
-	RegisterPolicy("jointvm", func(*Build) (place.Policy, error) { return place.JointVM{}, nil })
-
-	// Frequency governors. "corr-aware" aliases the paper's Eqn-4 governor.
-	eqn4 := func(b *Build) (sim.Governor, error) {
-		return sim.CorrAware{Matrix: b.Matrix()}, nil
-	}
-	RegisterGovernor("eqn4", eqn4)
-	RegisterGovernor("corr-aware", eqn4)
-	RegisterGovernor("worst-case", func(*Build) (sim.Governor, error) { return sim.WorstCase{}, nil })
-
-	// Workload predictors (defaults are the paper's/DESIGN.md choices;
-	// scenario params override the window/smoothing knobs).
-	RegisterPredictor("last-value", func(*Build) (predict.Predictor, error) { return predict.LastValue{}, nil })
-	RegisterPredictor("moving-average", func(b *Build) (predict.Predictor, error) {
-		k, err := b.IntParam("ma_k", 3)
-		if err != nil {
-			return nil, err
-		}
-		return predict.MovingAverage{K: k}, nil
-	})
-	RegisterPredictor("ewma", func(b *Build) (predict.Predictor, error) {
-		return predict.EWMA{Alpha: b.Param("ewma_alpha", 0.5)}, nil
-	})
-	RegisterPredictor("max-of", func(b *Build) (predict.Predictor, error) {
-		k, err := b.IntParam("maxof_k", 3)
-		if err != nil {
-			return nil, err
-		}
-		return predict.MaxOf{K: k}, nil
-	})
-
-	// Server models. The Opteron has no fitted power model in the repo, so
-	// the consolidation runs offer the Xeon and its hypothetical six-level
-	// variant (ablation A7's hardware axis); the web-search testbed pins
-	// its own hardware.
-	RegisterServer("xeon-e5410", ServerModel{Spec: server.XeonE5410(), Power: power.XeonE5410()})
-	RegisterServer("xeon-6level", ServerModel{Spec: server.XeonFineGrained(), Power: power.XeonFineGrained()})
-}

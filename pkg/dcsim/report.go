@@ -3,8 +3,8 @@ package dcsim
 import (
 	"io"
 
-	"repro/internal/report"
 	"repro/internal/trace"
+	"repro/pkg/dcsim/report"
 )
 
 // Table is a fixed-width text table for rendering results.
@@ -14,7 +14,7 @@ type Table = report.Table
 func NewTable(headers ...string) *Table { return report.NewTable(headers...) }
 
 // Sparkline renders a series as a unicode sparkline of the given width,
-// scaled to [lo, hi] (hi <= lo autoscales).
+// scaled to [lo, hi]; a degenerate range (hi <= lo) renders empty.
 func Sparkline(s *Series, width int, lo, hi float64) string {
 	return report.Sparkline(s, width, lo, hi)
 }

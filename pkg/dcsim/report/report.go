@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -73,7 +73,7 @@ var sparkRunes = []rune("▁▂▃▄▅▆▇█")
 
 // Sparkline renders a series as a fixed-width unicode sparkline, scaling
 // values into [lo, hi]. Useful for eyeballing the utilization figures.
-func Sparkline(s *trace.Series, width int, lo, hi float64) string {
+func Sparkline(s *model.Series, width int, lo, hi float64) string {
 	if width <= 0 || s.Len() == 0 || hi <= lo {
 		return ""
 	}

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -48,7 +48,7 @@ func TestAddRowf(t *testing.T) {
 }
 
 func TestSparkline(t *testing.T) {
-	s := trace.NewFromSamples(time.Second, []float64{0, 0.5, 1})
+	s := model.SeriesFromSamples(time.Second, []float64{0, 0.5, 1})
 	sl := Sparkline(s, 10, 0, 1)
 	if len([]rune(sl)) != 3 {
 		t.Fatalf("sparkline runes = %d, want 3", len([]rune(sl)))
@@ -58,7 +58,7 @@ func TestSparkline(t *testing.T) {
 		t.Fatalf("sparkline should ascend: %q", sl)
 	}
 	// Downsampling path: longer series squeezed to width.
-	long := trace.New(time.Second, 100)
+	long := model.NewSeries(time.Second, 100)
 	for i := 0; i < 100; i++ {
 		long.Append(float64(i))
 	}
@@ -69,11 +69,11 @@ func TestSparkline(t *testing.T) {
 }
 
 func TestSparklineEdgeCases(t *testing.T) {
-	s := trace.NewFromSamples(time.Second, []float64{1})
+	s := model.SeriesFromSamples(time.Second, []float64{1})
 	if Sparkline(s, 0, 0, 1) != "" {
 		t.Fatal("zero width should render empty")
 	}
-	empty := trace.New(time.Second, 0)
+	empty := model.NewSeries(time.Second, 0)
 	if Sparkline(empty, 10, 0, 1) != "" {
 		t.Fatal("empty series should render empty")
 	}
@@ -81,7 +81,7 @@ func TestSparklineEdgeCases(t *testing.T) {
 		t.Fatal("degenerate range should render empty")
 	}
 	// Out-of-range values clamp rather than panic.
-	wild := trace.NewFromSamples(time.Second, []float64{-5, 50})
+	wild := model.SeriesFromSamples(time.Second, []float64{-5, 50})
 	if len([]rune(Sparkline(wild, 10, 0, 1))) != 2 {
 		t.Fatal("clamped sparkline wrong length")
 	}

@@ -8,9 +8,9 @@ import (
 	"sort"
 	"strconv"
 
-	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/pkg/dcsim"
+	"repro/pkg/dcsim/report"
 )
 
 // Agg summarizes one metric across a cell's seed replicas: the mean, the

@@ -3,6 +3,7 @@ package dcsim
 import (
 	"repro/internal/reg"
 	"repro/internal/websearch"
+	"repro/pkg/dcsim/model"
 )
 
 // WebSearchScenario describes one Setup-1 web-search testbed run: two
@@ -30,15 +31,15 @@ func DefaultWebSearch() WebSearchScenario {
 // WebSearchResult is the testbed's result plus the run's identifying
 // labels, so callers need no other package to render it.
 type WebSearchResult struct {
-	*websearch.Result
+	*model.WebSearchRun
 	// PlacementName is the placement's descriptive name.
 	PlacementName string
-	// ISNNames labels Result.VMUtil, in order.
+	// ISNNames labels WebSearchRun.VMUtil, in order.
 	ISNNames []string
 }
 
 // WebSearchPlacementFactory builds a placement at a relative speed.
-type WebSearchPlacementFactory func(speed float64) *websearch.Placement
+type WebSearchPlacementFactory func(speed float64) *model.WebSearchPlacement
 
 var webSearchReg = reg.New[WebSearchPlacementFactory]("dcsim", "web-search placement")
 
@@ -85,5 +86,5 @@ func RunWebSearch(ws WebSearchScenario) (*WebSearchResult, error) {
 	for i, isn := range cfg.ISNs {
 		names[i] = isn.Name
 	}
-	return &WebSearchResult{Result: res, PlacementName: pl.Name, ISNNames: names}, nil
+	return &WebSearchResult{WebSearchRun: res, PlacementName: pl.Name, ISNNames: names}, nil
 }

@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench_alloc.sh — run BenchmarkAllocatorScale and record the allocator
+# perf trajectory in BENCH_alloc.json, including the 1k→10k scaling ratio
+# of the blocked series (sub-quadratic means ratio < 100 for 10× VMs).
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+go test -run '^$' -bench 'BenchmarkAllocatorScale' -benchtime 2x . | tee "$out"
+
+python3 - "$out" <<'EOF'
+import json, re, sys
+
+rows = []
+for line in open(sys.argv[1]):
+    m = re.match(r'BenchmarkAllocatorScale/(\S+?)/vms=(\d+)\S*\s+\d+\s+([\d.]+) ns/op', line)
+    if m:
+        rows.append({"series": m.group(1), "vms": int(m.group(2)),
+                     "ns_per_op": float(m.group(3))})
+if not rows:
+    sys.exit("bench_alloc: no benchmark rows parsed")
+
+def ns(series, vms):
+    for r in rows:
+        if r["series"] == series and r["vms"] == vms:
+            return r["ns_per_op"]
+    return None
+
+doc = {"benchmark": "BenchmarkAllocatorScale", "rows": rows}
+lo, hi = ns("block=512", 1000), ns("block=512", 10000)
+if lo and hi:
+    doc["blocked_scaling_1k_to_10k"] = round(hi / lo, 2)
+    doc["sub_quadratic_1k_to_10k"] = hi / lo < 100.0
+with open("BENCH_alloc.json", "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print("wrote BENCH_alloc.json")
+EOF
+cat BENCH_alloc.json
