@@ -1,8 +1,18 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-sweep bench-alloc leakcheck
+# Pinned staticcheck release; CI installs exactly this version and
+# `make lint` uses whatever matching binary is on PATH (skipping with a
+# pointer when none is — the container image may be offline).
+STATICCHECK_VERSION ?= 2025.1.1
 
-ci: fmt vet build test race leakcheck bench-sweep bench-alloc
+.PHONY: ci lint fmt vet staticcheck staticcheck-version build test race \
+	bench bench-sweep bench-alloc bench-compare leakcheck
+
+ci: lint build test race bench-sweep bench-compare bench-alloc
+
+# lint is the static gate CI's lint job runs: formatting, go vet,
+# staticcheck, and the public-API leak check.
+lint: fmt vet staticcheck leakcheck
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -12,6 +22,27 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+staticcheck:
+	@bin=""; \
+	if command -v staticcheck >/dev/null 2>&1; then \
+		bin=staticcheck; \
+	elif [ -x "$$($(GO) env GOPATH)/bin/staticcheck" ]; then \
+		bin="$$($(GO) env GOPATH)/bin/staticcheck"; \
+	fi; \
+	if [ -z "$$bin" ]; then \
+		echo "staticcheck: not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	else \
+		if ! "$$bin" -version 2>/dev/null | grep -qF "$(STATICCHECK_VERSION)"; then \
+			echo "staticcheck: WARNING: $$("$$bin" -version 2>/dev/null) on PATH, CI pins $(STATICCHECK_VERSION) — results may differ"; \
+		fi; \
+		"$$bin" ./...; \
+	fi
+
+# staticcheck-version prints the pin so CI installs the same release the
+# Makefile names (single source of truth).
+staticcheck-version:
+	@echo $(STATICCHECK_VERSION)
 
 build:
 	$(GO) build ./...
@@ -38,10 +69,16 @@ bench-alloc:
 	./scripts/bench_alloc.sh
 
 # bench-sweep is the perf-trajectory smoke: a tiny grid through the sweep
-# engine, timing recorded in BENCH_sweep.json (reports go to a scratch dir).
+# engine, timing recorded in BENCH_sweep.json (reports go to a scratch
+# dir). The script runs under set -eu, so a failing `go run` fails the
+# target loudly instead of being masked by the cleanup chain.
 bench-sweep:
-	@out=$$(mktemp -d); \
-	$(GO) run ./cmd/dcsim sweep -grid examples/grids/quick-threshold.json \
-		-workers 4 -out $$out -quiet -bench BENCH_sweep.json; \
-	status=$$?; rm -rf $$out; \
-	[ $$status -eq 0 ] && cat BENCH_sweep.json || exit $$status
+	./scripts/bench_sweep.sh
+
+# bench-compare fails when the freshly recorded BENCH_sweep.json wall time
+# regresses more than BENCH_REGRESS_PCT percent (default 100) against the
+# committed baseline, printing the delta either way. Depends on
+# bench-sweep so the comparison always reads a fresh record, even under
+# `make -j`.
+bench-compare: bench-sweep
+	./scripts/bench_compare.sh

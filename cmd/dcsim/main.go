@@ -7,7 +7,11 @@
 //
 // The sweep subcommand ("dcsim sweep -grid file.json") fans a whole grid of
 // scenarios out over a worker pool and writes aggregate JSON and CSV
-// reports; see cmd/dcsim/sweep.go and examples/grids/.
+// reports; see cmd/dcsim/sweep.go and examples/grids/. With -remote the
+// grid fans out to HTTP workers instead — each one a "dcsim worker
+// -listen addr" process — with byte-identical aggregates either way; the
+// worker subcommand serves health, capability listing, and cell execution
+// (see pkg/dcsim/sweep/remote).
 package main
 
 import (
@@ -27,6 +31,10 @@ func main() {
 	log.SetPrefix("dcsim: ")
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		sweepMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		workerMain(os.Args[2:])
 		return
 	}
 	def := dcsim.DefaultScenario()

@@ -14,22 +14,38 @@ import (
 	"time"
 
 	"repro/pkg/dcsim/sweep"
+	"repro/pkg/dcsim/sweep/remote"
 )
 
 // sweepMain implements "dcsim sweep": load a grid file, fan it out over a
-// worker pool, and write aggregate JSON and CSV reports. Ctrl-C cancels
-// the sweep and the reports cover the cells that completed.
+// worker pool — in-process by default, over HTTP workers with -remote, or
+// both with -remote plus -local — and write aggregate JSON and CSV
+// reports. Aggregates are byte-identical wherever the runs execute.
+// Ctrl-C cancels the sweep and the reports cover the cells that completed.
 func sweepMain(args []string) {
 	fs := flag.NewFlagSet("dcsim sweep", flag.ExitOnError)
 	var (
 		gridPath = fs.String("grid", "", "JSON grid file (required; see examples/grids/)")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent runs (aggregates are identical at any count)")
+		workers  = fs.Int("workers", 0, "concurrent runs (default GOMAXPROCS, or the remote capacity with -remote; aggregates are identical at any count)")
 		outDir   = fs.String("out", ".", "directory the JSON and CSV reports are written to")
 		progress = fs.Bool("progress", false, "print each cell's aggregate as it completes")
 		quiet    = fs.Bool("quiet", false, "suppress the summary table on stdout")
 		bench    = fs.String("bench", "", "also write a timing record (runs, seconds, runs/s) to this file")
+		remotes  = fs.String("remote", "", "comma-separated worker base URLs (\"dcsim worker\" instances) to fan cells out to")
+		local    = fs.Int("local", 0, "with -remote: also run up to this many cells in-process (mixed mode)")
+		inflight = fs.Int("inflight", 4, "with -remote: max in-flight cells per worker")
+		nocheck  = fs.Bool("no-preflight", false, "with -remote: skip the worker health + capability preflight")
 	)
 	fs.Parse(args)
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *remotes == "" {
+		for _, name := range []string{"local", "inflight", "no-preflight"} {
+			if set[name] {
+				log.Fatalf("sweep: -%s only applies with -remote (local runs are the default)", name)
+			}
+		}
+	}
 	if *gridPath == "" {
 		fs.Usage()
 		log.Fatal("sweep: -grid is required")
@@ -47,6 +63,28 @@ func sweepMain(args []string) {
 	defer stop()
 
 	opts := sweep.Options{Workers: *workers}
+	if *remotes != "" {
+		exec, err := remote.NewExecutor(remote.SplitURLList(*remotes),
+			remote.WithInFlight(*inflight), remote.WithLocalSlots(*local))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*nocheck {
+			// Health plus capabilities: every worker must resolve every
+			// component the grid selects, so registry mismatches fail
+			// here instead of mid-sweep.
+			if err := exec.PreflightGrid(ctx, g); err != nil {
+				log.Fatal(err)
+			}
+		}
+		opts.Executor = exec
+		if *workers == 0 {
+			opts.Workers = exec.Capacity()
+		}
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 	if *progress {
 		opts.Observers = append(opts.Observers, sweep.ObserverFunc(func(c sweep.CellResult) {
 			fmt.Printf("cell %3d  %-40s energy=%.1f kJ  maxViol=%.1f%%\n",
@@ -95,7 +133,7 @@ func sweepMain(args []string) {
 	if !*quiet {
 		fmt.Print(res.Table())
 		fmt.Printf("%d runs on %d workers in %.2fs (%.1f runs/s)\nreports: %s, %s\n",
-			runs, *workers, elapsed.Seconds(), float64(runs)/elapsed.Seconds(), jsonPath, csvPath)
+			runs, opts.Workers, elapsed.Seconds(), float64(runs)/elapsed.Seconds(), jsonPath, csvPath)
 	}
 
 	if *bench != "" {
@@ -107,7 +145,7 @@ func sweepMain(args []string) {
 			Seconds   float64 `json:"seconds"`
 			RunsPerS  float64 `json:"runs_per_s"`
 			Completed int     `json:"completed_cells"`
-		}{name, res.TotalCells, runs, *workers, elapsed.Seconds(), float64(runs) / elapsed.Seconds(), len(res.Cells)}
+		}{name, res.TotalCells, runs, opts.Workers, elapsed.Seconds(), float64(runs) / elapsed.Seconds(), len(res.Cells)}
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
 			log.Fatal(err)

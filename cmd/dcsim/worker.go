@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/pkg/dcsim/sweep/remote"
+)
+
+// workerMain implements "dcsim worker": serve the distributed-sweep worker
+// protocol (health, capability listing, cell execution) until interrupted.
+// A sweep client ("dcsim sweep -remote host:port,...") ships cell-replicas
+// here; every run resolves against this process's registries, so a worker
+// binary must register the same out-of-tree components as the client or
+// cells naming them fail with a typed unknown_component error.
+func workerMain(args []string) {
+	fs := flag.NewFlagSet("dcsim worker", flag.ExitOnError)
+	var (
+		listen = fs.String("listen", ":8070", "address to serve the worker protocol on")
+		quiet  = fs.Bool("quiet", false, "do not log per-run lines")
+	)
+	fs.Parse(args)
+
+	srv := &remote.Server{}
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps := remote.LocalCapabilities()
+	log.Printf("worker listening on %s (policies: %s; governors: %s; predictors: %s; servers: %s)",
+		ln.Addr(), strings.Join(caps.Policies, ", "), strings.Join(caps.Governors, ", "),
+		strings.Join(caps.Predictors, ", "), strings.Join(caps.Servers, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		// Graceful drain: in-flight runs keep their request contexts for
+		// a bounded window, then the listener is torn down hard.
+		log.Print("interrupt: draining in-flight runs")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsim: worker shutdown: %v\n", err)
+			httpSrv.Close()
+		}
+	}
+}

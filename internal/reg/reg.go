@@ -5,10 +5,10 @@
 package reg
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 	"sync"
+
+	"repro/pkg/dcsim/model"
 )
 
 // Registry maps unique names to components of one kind. The zero value is
@@ -42,16 +42,18 @@ func (r *Registry[T]) Register(name string, v T) {
 	r.order = append(r.order, name)
 }
 
-// Lookup returns the component registered under name; unknown names error
-// with the sorted known names listed.
+// Lookup returns the component registered under name; unknown names return
+// a model.NotRegisteredError listing the sorted known names, so callers can
+// classify registry misses with errors.As across process boundaries.
 func (r *Registry[T]) Lookup(name string) (T, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	v, ok := r.m[name]
 	if !ok {
 		var zero T
-		return zero, fmt.Errorf("%s: unknown %s %q (have %s)",
-			r.prefix, r.kind, name, strings.Join(r.namesLocked(), ", "))
+		return zero, &model.NotRegisteredError{
+			Prefix: r.prefix, Kind: r.kind, Name: name, Have: r.namesLocked(),
+		}
 	}
 	return v, nil
 }

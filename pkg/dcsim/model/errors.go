@@ -1,0 +1,31 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NotRegisteredError reports a component name that no registry entry
+// matches. Every façade registry (policies, governors, predictors, server
+// models, experiment artifacts) returns it from lookups, so callers that
+// ship scenarios across process boundaries — the distributed sweep worker
+// in particular — can tell a registry mismatch (an out-of-tree component
+// the serving process never registered) apart from other scenario errors
+// with errors.As and surface it as a typed condition instead of a string.
+type NotRegisteredError struct {
+	// Prefix is the registry's error prefix, e.g. "dcsim".
+	Prefix string
+	// Kind is the component kind, e.g. "policy".
+	Kind string
+	// Name is the unknown name that was looked up.
+	Name string
+	// Have lists the names the registry does hold, sorted.
+	Have []string
+}
+
+// Error renders the registry's long-standing message shape:
+// "<prefix>: unknown <kind> "<name>" (have a, b, c)".
+func (e *NotRegisteredError) Error() string {
+	return fmt.Sprintf("%s: unknown %s %q (have %s)",
+		e.Prefix, e.Kind, e.Name, strings.Join(e.Have, ", "))
+}

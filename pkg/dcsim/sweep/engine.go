@@ -26,16 +26,30 @@ func (f ObserverFunc) OnCell(c CellResult) { f(c) }
 
 // Options tunes the engine.
 type Options struct {
-	// Workers bounds the number of concurrent runs; 0 selects
-	// GOMAXPROCS. Aggregates are byte-identical at any worker count.
+	// Workers bounds the number of concurrent ExecuteCell calls; 0
+	// selects GOMAXPROCS. Aggregates are byte-identical at any worker
+	// count.
 	Workers int
 	// Observers receive per-cell completion events.
 	Observers []Observer
+	// Executor runs each cell-replica. Nil selects an in-process
+	// LocalExecutor; sweep/remote provides one that fans runs out to
+	// HTTP workers instead.
+	Executor Executor
 	// RunObservers, when set, supplies dcsim Observers for each
 	// individual run — the tap into the per-sample/per-period stream of
 	// the underlying simulations. It is called from worker goroutines
-	// and must be safe for concurrent use.
+	// and must be safe for concurrent use. It only applies to the
+	// default local executor: a custom Executor owns its runs.
 	RunObservers func(cell Cell, replica int) []dcsim.Observer
+}
+
+// executorOrDefault resolves the executor.
+func (o Options) executorOrDefault() Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	return &LocalExecutor{RunObservers: o.RunObservers}
 }
 
 // workersOrDefault resolves the worker count.
@@ -47,14 +61,18 @@ func (o Options) workersOrDefault() int {
 }
 
 // Run executes the grid on a bounded worker pool and merges the runs into
-// per-cell aggregates. The returned Result is deterministic: cells appear
-// in canonical grid order and replica statistics are folded in replica
-// order, so the same grid marshals to the same bytes at any worker count.
+// per-cell aggregates. Each (cell, replica) pair goes through the
+// executor's ExecuteCell — in-process by default, over HTTP with
+// sweep/remote — and the collector folds the returned per-replica stats.
+// The returned Result is deterministic: cells appear in canonical grid
+// order and replica statistics are folded in replica order, so the same
+// grid marshals to the same bytes at any worker count, local or remote.
 //
 // Cancelling ctx stops the sweep between samples; Run then returns the
 // cells whose every replica had already finished — a partial but
 // well-defined grid — alongside the context's error. A failing run (as
-// opposed to a cancelled one) aborts the sweep and returns its error.
+// opposed to a cancelled one) aborts the sweep and returns its error,
+// again keeping the cells already completed.
 func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -95,6 +113,7 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	exec := opts.executorOrDefault()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -104,12 +123,8 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 					outCh <- outcome{cell: j.cell, replica: j.replica, err: runCtx.Err()}
 					continue
 				}
-				sc := cells[j.cell].Replica(j.replica, g.SeedStride)
-				var obs []dcsim.Observer
-				if opts.RunObservers != nil {
-					obs = opts.RunObservers(cells[j.cell], j.replica)
-				}
-				res, err := dcsim.Run(runCtx, sc, obs...)
+				run := CellRun{Cell: cells[j.cell], Replica: j.replica, SeedStride: g.SeedStride}
+				res, err := exec.ExecuteCell(runCtx, run)
 				outCh <- outcome{cell: j.cell, replica: j.replica, res: res, err: err}
 			}
 		}()

@@ -7,9 +7,11 @@
 // Scenarios are immutable values and runs are deterministic, so fan-out is
 // safe and merge is well-defined: the aggregate Result is byte-identical
 // regardless of worker count, and cancelling the context returns the cells
-// that completed, in grid order. The package is the unit of future
-// distribution across machines — a remote executor only needs to ship
-// Grid cells out and CellResults back.
+// that completed, in grid order. Each cell-replica executes through the
+// Executor seam — in-process via LocalExecutor by default, or across
+// machines via the sweep/remote package, which ships CellRuns to HTTP
+// workers and streams per-replica Results back into the same collector,
+// preserving the byte-identical aggregate wherever runs execute.
 package sweep
 
 import (

@@ -1,0 +1,108 @@
+// Package remote distributes sweep execution over HTTP. It implements the
+// sweep.Executor seam twice over:
+//
+//   - Server is the worker side: an http.Handler exposing health,
+//     capability listing (the worker's registry contents), and cell
+//     execution with request-context cancellation. `dcsim worker -listen`
+//     serves it.
+//   - Executor is the client side: it fans cell-replicas out to a static
+//     set of worker URLs with a bounded number of in-flight requests per
+//     worker, retries a failed cell-replica on the surviving workers, and
+//     feeds results back into sweep.Run's deterministic collector.
+//
+// The wire unit is sweep.CellRun out and dcsim.Result back, both plain
+// JSON. Runs are deterministic and floats survive JSON round-trips bit
+// exactly, so a sweep's aggregate Result is byte-identical whether cells
+// execute in-process, on one worker, or scattered over a cluster — and a
+// cell-replica retried after a worker death reproduces the lost run
+// exactly.
+//
+// Failure semantics: transport-level failures (connection refused, a
+// worker dying mid-cell, 5xx) mark the worker dead and the cell-replica is
+// retried on another worker; application-level failures arrive as a typed
+// *Error and abort the sweep, because they are deterministic — a scenario
+// naming a component the worker's registry lacks (CodeUnknownComponent)
+// fails the same way everywhere. When every worker is dead, ExecuteCell
+// returns ErrAllWorkersDown and sweep.Run still hands back the cells that
+// completed.
+package remote
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/pkg/dcsim"
+)
+
+// Code classifies a worker-side failure on the wire.
+type Code string
+
+const (
+	// CodeBadRequest marks a request the worker could not decode.
+	CodeBadRequest Code = "bad_request"
+	// CodeUnknownComponent marks a scenario naming a component (policy,
+	// governor, predictor, server model) the worker's registry does not
+	// hold — typically an out-of-tree component the worker binary never
+	// registered.
+	CodeUnknownComponent Code = "unknown_component"
+	// CodeBadScenario marks a scenario that fails validation for any
+	// other reason (structure, params no component reads, ...).
+	CodeBadScenario Code = "bad_scenario"
+	// CodeRunFailed marks a simulation that started and failed.
+	CodeRunFailed Code = "run_failed"
+	// CodeCancelled marks a run stopped by request-context cancellation.
+	CodeCancelled Code = "cancelled"
+)
+
+// Error is the typed failure a worker reports and the client surfaces.
+// Application-level errors are deterministic, so the client does not retry
+// them; use errors.As to classify one, e.g. to tell a registry mismatch
+// (CodeUnknownComponent) from a failing simulation (CodeRunFailed).
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("remote: %s: %s", e.Code, e.Message)
+}
+
+// ErrAllWorkersDown is returned (wrapped) by Executor.ExecuteCell when no
+// worker is left alive to run a cell-replica. sweep.Run surfaces it while
+// preserving the cells that had already completed.
+var ErrAllWorkersDown = errors.New("remote: all workers down")
+
+// Capabilities is a worker's registry listing — the component names its
+// process can resolve. Clients use it to check that a grid's out-of-tree
+// components are registered on every worker before fanning out.
+type Capabilities struct {
+	Policies   []string `json:"policies"`
+	Governors  []string `json:"governors"`
+	Predictors []string `json:"predictors"`
+	Servers    []string `json:"servers"`
+}
+
+// LocalCapabilities lists the component names registered in this process.
+func LocalCapabilities() Capabilities {
+	return Capabilities{
+		Policies:   dcsim.Policies(),
+		Governors:  dcsim.Governors(),
+		Predictors: dcsim.Predictors(),
+		Servers:    dcsim.Servers(),
+	}
+}
+
+// runResponse is the /run response envelope: exactly one of Result and
+// Error is set.
+type runResponse struct {
+	Result *dcsim.Result `json:"result,omitempty"`
+	Error  *Error        `json:"error,omitempty"`
+}
+
+// wire paths of the worker protocol.
+const (
+	healthPath       = "/healthz"
+	capabilitiesPath = "/capabilities"
+	runPath          = "/run"
+)

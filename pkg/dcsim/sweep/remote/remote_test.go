@@ -1,0 +1,548 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/dcsim"
+	"repro/pkg/dcsim/sweep"
+)
+
+// tinyGrid is the same fast grid the sweep engine tests use: 4 cells x 2
+// replicas of a 6-VM single-hour scenario.
+func tinyGrid() sweep.Grid {
+	return sweep.Grid{
+		Name: "tiny",
+		Base: dcsim.Scenario{
+			Workload:      dcsim.Workload{VMs: 6, Groups: 2, Hours: 1},
+			MaxServers:    5,
+			PeriodSamples: 240,
+		},
+		Axes: []sweep.Axis{
+			{Field: "policy", Values: []any{"bfd", "corr-aware"}},
+			{Field: "rescale_every", Values: []any{0, 12}},
+		},
+		Replicas: 2,
+	}
+}
+
+// localGolden runs the grid in-process on one worker and returns the
+// marshaled aggregate — the bytes every other execution mode must match.
+func localGolden(t *testing.T, g sweep.Grid) []byte {
+	t.Helper()
+	res, err := sweep.Run(context.Background(), g, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// cluster starts n in-process workers and returns their base URLs plus a
+// shutdown func. wrap, when non-nil, decorates each worker's handler
+// (index-aware) for fault injection.
+func cluster(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		var h http.Handler = &Server{}
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+func remoteRun(t *testing.T, g sweep.Grid, exec *Executor) (*sweep.Result, error) {
+	t.Helper()
+	return sweep.Run(context.Background(), g, sweep.Options{
+		Workers:  exec.Capacity(),
+		Executor: exec,
+	})
+}
+
+// TestDeterminismLocalAndRemote is the PR's acceptance gate: the same grid
+// marshals to the same bytes in-process at 1 worker, in-process at 8
+// workers, and across 3 HTTP workers — including when one remote worker
+// fails a cell-replica mid-flight and the client retries it elsewhere.
+func TestDeterminismLocalAndRemote(t *testing.T) {
+	g := tinyGrid()
+	golden := localGolden(t, g)
+
+	// In-process, 8 workers.
+	res, err := sweep.Run(context.Background(), g, sweep.Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("local x8: %v", err)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, data) {
+		t.Fatal("local x8 bytes differ from local x1")
+	}
+
+	// 3 healthy HTTP workers.
+	exec, err := NewExecutor(cluster(t, 3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = remoteRun(t, g, exec)
+	if err != nil {
+		t.Fatalf("remote x3: %v", err)
+	}
+	if data, _ = res.JSON(); !bytes.Equal(golden, data) {
+		t.Fatal("remote x3 bytes differ from local x1")
+	}
+
+	// 3 HTTP workers, one of which kills the connection on its first
+	// /run — the client must mark it dead, retry the replica on a
+	// survivor, and still produce the same bytes.
+	var failed atomic.Bool
+	urls := cluster(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/run" && failed.CompareAndSwap(false, true) {
+				panic(http.ErrAbortHandler) // drop the connection mid-request
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	exec, err = NewExecutor(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = remoteRun(t, g, exec)
+	if err != nil {
+		t.Fatalf("remote with injected failure: %v", err)
+	}
+	if !failed.Load() {
+		t.Fatal("fault injection never fired")
+	}
+	if data, _ = res.JSON(); !bytes.Equal(golden, data) {
+		t.Fatal("remote-with-retry bytes differ from local x1")
+	}
+}
+
+// TestMixedLocalRemoteDeterminism runs the grid over one HTTP worker plus
+// in-process slots and expects the same bytes again.
+func TestMixedLocalRemoteDeterminism(t *testing.T) {
+	g := tinyGrid()
+	golden := localGolden(t, g)
+	exec, err := NewExecutor(cluster(t, 1, nil), WithInFlight(2), WithLocalSlots(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.Capacity(); got != 4 {
+		t.Fatalf("capacity = %d, want 2 remote + 2 local", got)
+	}
+	res, err := remoteRun(t, g, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := res.JSON()
+	if !bytes.Equal(golden, data) {
+		t.Fatal("mixed-mode bytes differ from local x1")
+	}
+}
+
+// TestWorkerKilledMidCellFailsOver kills one worker after its first
+// successful run; the cells it would have run land on the survivor and the
+// sweep still completes with identical bytes.
+func TestWorkerKilledMidCellFailsOver(t *testing.T) {
+	g := tinyGrid()
+	golden := localGolden(t, g)
+	var served atomic.Int32
+	urls := cluster(t, 2, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/run" && served.Add(1) > 1 {
+				panic(http.ErrAbortHandler) // the process is gone from now on
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	exec, err := NewExecutor(urls, WithInFlight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := remoteRun(t, g, exec)
+	if err != nil {
+		t.Fatalf("sweep should survive one worker dying: %v", err)
+	}
+	if !res.Complete {
+		t.Fatal("sweep incomplete after failover")
+	}
+	if served.Load() < 2 {
+		t.Fatalf("fault injection never fired (worker 0 served %d)", served.Load())
+	}
+	data, _ := res.JSON()
+	if !bytes.Equal(golden, data) {
+		t.Fatal("failover bytes differ from local x1")
+	}
+}
+
+// TestAllWorkersDown covers the two all-down shapes: dead before the sweep
+// starts (no cells), and dying after one cell completed (that cell is
+// preserved alongside the typed error).
+func TestAllWorkersDown(t *testing.T) {
+	g := tinyGrid()
+
+	// The only worker is already dead when the sweep starts.
+	closed := httptest.NewServer(&Server{})
+	closedURL := closed.URL
+	closed.Close()
+	exec, err := NewExecutor([]string{closedURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := remoteRun(t, g, exec)
+	if !errors.Is(err, ErrAllWorkersDown) {
+		t.Fatalf("err = %v, want ErrAllWorkersDown", err)
+	}
+	if res == nil || len(res.Cells) != 0 || res.Complete {
+		t.Fatalf("result = %+v, want empty partial", res)
+	}
+
+	// One worker that serves exactly one run, then dies: the completed
+	// cell must survive in the partial result.
+	single := sweep.Grid{
+		Name:     g.Name,
+		Base:     g.Base,
+		Axes:     []sweep.Axis{{Field: "policy", Values: []any{"bfd", "corr-aware"}}},
+		Replicas: 1,
+	}
+	var served atomic.Int32
+	urls := cluster(t, 1, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/run" && served.Add(1) > 1 {
+				panic(http.ErrAbortHandler)
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	exec, err = NewExecutor(urls, WithInFlight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = sweep.Run(context.Background(), single, sweep.Options{Workers: 1, Executor: exec})
+	if !errors.Is(err, ErrAllWorkersDown) {
+		t.Fatalf("err = %v, want ErrAllWorkersDown", err)
+	}
+	if res == nil || res.Complete {
+		t.Fatal("want a partial result")
+	}
+	if len(res.Cells) != 1 || res.Cells[0].Index != 0 {
+		t.Fatalf("completed cells = %+v, want exactly cell 0 preserved", res.Cells)
+	}
+}
+
+// TestAllWorkersDownDegradesToLocalSlots: with mixed mode configured, the
+// sweep completes purely locally when every worker is dead — local slots
+// never die.
+func TestAllWorkersDownDegradesToLocalSlots(t *testing.T) {
+	g := tinyGrid()
+	golden := localGolden(t, g)
+	closed := httptest.NewServer(&Server{})
+	closedURL := closed.URL
+	closed.Close()
+	exec, err := NewExecutor([]string{closedURL}, WithLocalSlots(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := remoteRun(t, g, exec)
+	if err != nil {
+		t.Fatalf("mixed sweep should degrade to local: %v", err)
+	}
+	data, _ := res.JSON()
+	if !bytes.Equal(golden, data) {
+		t.Fatal("degraded-to-local bytes differ from local x1")
+	}
+}
+
+// TestCancellationPropagatesToWorker cancels the client context mid-run
+// and checks the worker observed its request context ending — the chain
+// client ctx -> HTTP disconnect -> r.Context() -> simulation stop.
+func TestCancellationPropagatesToWorker(t *testing.T) {
+	runStarted := make(chan struct{}, 1)
+	serverSawCancel := make(chan struct{}, 1)
+	urls := cluster(t, 1, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/run" {
+				h.ServeHTTP(w, r)
+				return
+			}
+			select {
+			case runStarted <- struct{}{}:
+			default:
+			}
+			h.ServeHTTP(w, r)
+			if r.Context().Err() != nil {
+				select {
+				case serverSawCancel <- struct{}{}:
+				default:
+				}
+			}
+		})
+	})
+	exec, err := NewExecutor(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cell big enough that the run is still in flight when the cancel
+	// lands (hundreds of ms; the cancel takes microseconds).
+	g := sweep.Grid{
+		Base: dcsim.Scenario{
+			Workload:      dcsim.Workload{VMs: 100, Groups: 10, Hours: 24},
+			MaxServers:    40,
+			PeriodSamples: 240,
+		},
+		Axes: []sweep.Axis{{Field: "policy", Values: []any{"corr-aware"}}},
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := sweep.CellRun{Cell: cells[0], Replica: 0, SeedStride: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := exec.ExecuteCell(ctx, run)
+		errCh <- err
+	}()
+	select {
+	case <-runStarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run never reached the worker")
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled ExecuteCell never returned")
+	}
+	select {
+	case <-serverSawCancel:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never observed the request context ending")
+	}
+}
+
+// TestUnknownComponentTypedError ships a cell naming a policy the worker's
+// registry lacks (as an unsynchronized out-of-tree registration would) and
+// expects the typed unknown_component error, no retry storm, and a worker
+// that keeps serving.
+func TestUnknownComponentTypedError(t *testing.T) {
+	var runCalls atomic.Int32
+	urls := cluster(t, 1, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/run" {
+				runCalls.Add(1)
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	exec, err := NewExecutor(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the cell by hand: client-side validation would reject the
+	// name too, which is exactly why the worker must also check — an
+	// out-of-tree client registers names its workers may not have.
+	sc := dcsim.New(dcsim.WithVMs(6), dcsim.WithHours(1), dcsim.WithMaxServers(5))
+	sc.Policy = "martian-packing"
+	run := sweep.CellRun{Cell: sweep.Cell{Index: 0, Scenario: sc}, SeedStride: 1}
+	_, err = exec.ExecuteCell(context.Background(), run)
+	var typed *Error
+	if !errors.As(err, &typed) || typed.Code != CodeUnknownComponent {
+		t.Fatalf("err = %v, want *Error with CodeUnknownComponent", err)
+	}
+	if !strings.Contains(typed.Message, "martian-packing") {
+		t.Fatalf("message %q does not name the missing component", typed.Message)
+	}
+	if runCalls.Load() != 1 {
+		t.Fatalf("deterministic failure was retried %d times", runCalls.Load())
+	}
+	// The worker was not marked dead: a well-formed cell still runs.
+	good := sweep.CellRun{Cell: sweep.Cell{Index: 0, Scenario: dcsim.New(
+		dcsim.WithVMs(6), dcsim.WithHours(1), dcsim.WithMaxServers(5))}, SeedStride: 1}
+	if _, err := exec.ExecuteCell(context.Background(), good); err != nil {
+		t.Fatalf("healthy cell after typed error: %v", err)
+	}
+}
+
+// TestHealthAndCapabilities exercises the two GET endpoints through the
+// public client helpers.
+func TestHealthAndCapabilities(t *testing.T) {
+	urls := cluster(t, 1, nil)
+	if err := Health(context.Background(), http.DefaultClient, urls[0]); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	caps, err := FetchCapabilities(context.Background(), http.DefaultClient, urls[0])
+	if err != nil {
+		t.Fatalf("capabilities: %v", err)
+	}
+	want := LocalCapabilities()
+	if len(caps.Policies) == 0 || len(caps.Policies) != len(want.Policies) {
+		t.Fatalf("capabilities policies = %v, want %v", caps.Policies, want.Policies)
+	}
+	for i := range want.Policies {
+		if caps.Policies[i] != want.Policies[i] {
+			t.Fatalf("capabilities policies = %v, want %v", caps.Policies, want.Policies)
+		}
+	}
+	// Preflight succeeds against a live cluster and names a dead worker.
+	exec, err := NewExecutor(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Preflight(context.Background()); err != nil {
+		t.Fatalf("preflight: %v", err)
+	}
+	closed := httptest.NewServer(&Server{})
+	closedURL := closed.URL
+	closed.Close()
+	exec, err = NewExecutor([]string{urls[0], closedURL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Preflight(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), closedURL) {
+		t.Fatalf("preflight = %v, want failure naming %s", err, closedURL)
+	}
+}
+
+// TestPreflightGridCatchesRegistryMismatch: a worker whose capability
+// listing lacks a component the grid selects fails the preflight by name,
+// before any cell is shipped.
+func TestPreflightGridCatchesRegistryMismatch(t *testing.T) {
+	g := tinyGrid() // selects bfd and corr-aware policies
+	// Worker 0 advertises a listing without corr-aware, as a worker
+	// binary missing an out-of-tree registration would.
+	urls := cluster(t, 2, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/capabilities" {
+				h.ServeHTTP(w, r)
+				return
+			}
+			caps := LocalCapabilities()
+			var kept []string
+			for _, p := range caps.Policies {
+				if p != "corr-aware" {
+					kept = append(kept, p)
+				}
+			}
+			caps.Policies = kept
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(caps); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	exec, err := NewExecutor(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = exec.PreflightGrid(context.Background(), g)
+	if err == nil || !strings.Contains(err.Error(), urls[0]) ||
+		!strings.Contains(err.Error(), "policy corr-aware") {
+		t.Fatalf("preflight = %v, want failure naming %s and policy corr-aware", err, urls[0])
+	}
+	// A fully capable cluster passes.
+	exec, err = NewExecutor(urls[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.PreflightGrid(context.Background(), g); err != nil {
+		t.Fatalf("preflight against capable worker: %v", err)
+	}
+}
+
+// TestNewExecutorRejects pins constructor validation.
+func TestNewExecutorRejects(t *testing.T) {
+	if _, err := NewExecutor(nil); err == nil {
+		t.Fatal("no workers and no local slots must fail")
+	}
+	if _, err := NewExecutor([]string{"http://x"}, WithInFlight(0)); err == nil {
+		t.Fatal("zero in-flight must fail")
+	}
+	if _, err := NewExecutor([]string{"  "}); err == nil {
+		t.Fatal("blank URL must fail")
+	}
+	// Scheme-less URLs normalize to http and trailing slashes drop.
+	exec, err := NewExecutor([]string{"host1:8070", "http://host2:8070/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exec.WorkerURLs()
+	want := []string{"http://host1:8070", "http://host2:8070"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("worker URLs = %v, want %v", got, want)
+		}
+	}
+}
+
+// Guard against goroutine leaks in the waiter-wakeup path: concurrency-
+// heavy acquire/markDead interleavings must not deadlock. Run a sweep
+// whose only worker dies immediately at high engine parallelism.
+func TestAllDownDoesNotDeadlockManyWaiters(t *testing.T) {
+	closed := httptest.NewServer(&Server{})
+	closedURL := closed.URL
+	closed.Close()
+	exec, err := NewExecutor([]string{closedURL}, WithInFlight(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	g := tinyGrid()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := sweep.CellRun{Cell: cells[0], Replica: 0, SeedStride: 1}
+			_, err := exec.ExecuteCell(context.Background(), run)
+			if !errors.Is(err, ErrAllWorkersDown) {
+				t.Errorf("err = %v, want ErrAllWorkersDown", err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiters deadlocked after all workers died")
+	}
+}

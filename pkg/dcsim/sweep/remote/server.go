@@ -1,0 +1,125 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/pkg/dcsim"
+	"repro/pkg/dcsim/model"
+	"repro/pkg/dcsim/sweep"
+)
+
+// statusClientClosedRequest reports a run stopped because the requester
+// went away (nginx's non-standard 499; no standard code fits).
+const statusClientClosedRequest = 499
+
+// Server is the HTTP worker: it executes cell-replicas shipped by a remote
+// Executor against this process's registries. The zero value is ready to
+// serve.
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness, {"status":"ok"}
+//	GET  /capabilities  the worker's registry listing (Capabilities)
+//	POST /run           execute one sweep.CellRun, answer {"result": ...}
+//	                    or a typed {"error": {code, message}}
+//
+// /run validates the scenario against the worker's own registries before
+// running, so a cell naming an out-of-tree component this process never
+// registered fails with CodeUnknownComponent instead of an opaque string.
+// The run executes under the request context: when the client disconnects
+// or cancels, the simulation stops between samples and the response is
+// CodeCancelled.
+type Server struct {
+	// Logf, when set, receives one line per handled run (and per typed
+	// failure). Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// logf logs through s.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case healthPath:
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case capabilitiesPath:
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		writeJSON(w, http.StatusOK, LocalCapabilities())
+	case runPath:
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, http.MethodPost)
+			return
+		}
+		s.handleRun(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// handleRun decodes one CellRun, validates it against this process's
+// registries, and executes it under the request context.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var run sweep.CellRun
+	if err := dec.Decode(&run); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, "decode cell run: "+err.Error())
+		return
+	}
+	sc := run.Scenario()
+	if err := dcsim.CheckScenario(sc); err != nil {
+		var nr *model.NotRegisteredError
+		code, status := CodeBadScenario, http.StatusUnprocessableEntity
+		if errors.As(err, &nr) {
+			code = CodeUnknownComponent
+		}
+		s.writeError(w, status, code, err.Error())
+		return
+	}
+	res, err := dcsim.Run(r.Context(), sc)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The requester is gone or gave up; the status is a courtesy.
+			s.writeError(w, statusClientClosedRequest, CodeCancelled, err.Error())
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, CodeRunFailed, err.Error())
+		return
+	}
+	s.logf("ran cell %d (%s) replica %d", run.Cell.Index, run.Cell.Name(), run.Replica)
+	writeJSON(w, http.StatusOK, runResponse{Result: res})
+}
+
+// writeError sends a typed error envelope and logs it.
+func (s *Server) writeError(w http.ResponseWriter, status int, code Code, msg string) {
+	s.logf("error %s: %s", code, msg)
+	writeJSON(w, status, runResponse{Error: &Error{Code: code, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// The write goes straight to the peer; nothing useful is left to do
+	// with a failure, the client sees a truncated body and classifies it.
+	_ = enc.Encode(v)
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench_compare.sh — guard the sweep perf trajectory: compare the freshly
+# recorded BENCH_sweep.json against the baseline committed at HEAD and fail
+# when wall time regresses more than BENCH_REGRESS_PCT percent (default
+# 100, i.e. a 2x slowdown). The delta is printed either way, so CI logs
+# show the trajectory even when the gate passes.
+#
+# The comparison is skipped (exit 0, with a reason) when there is no
+# committed baseline, the baseline covers a different grid/run count, or
+# the file is unreadable — a changed benchmark is a new baseline, not a
+# regression. CI sets BENCH_REGRESS_PCT higher to absorb the variance
+# between the committing machine and the runner.
+set -eu
+cd "$(dirname "$0")/.."
+
+threshold="${BENCH_REGRESS_PCT:-100}"
+
+if [ ! -f BENCH_sweep.json ]; then
+	echo "bench_compare: BENCH_sweep.json missing; run 'make bench-sweep' first" >&2
+	exit 1
+fi
+basefile=$(mktemp)
+trap 'rm -f "$basefile"' EXIT
+if ! git show HEAD:BENCH_sweep.json >"$basefile" 2>/dev/null; then
+	echo "bench_compare: no committed BENCH_sweep.json baseline at HEAD; skipping"
+	exit 0
+fi
+
+python3 - "$basefile" BENCH_sweep.json "$threshold" <<'EOF'
+import json, sys
+
+try:
+    base = json.load(open(sys.argv[1]))
+    cur = json.load(open(sys.argv[2]))
+except (ValueError, OSError) as e:
+    print(f"bench_compare: unreadable record ({e}); skipping")
+    sys.exit(0)
+
+threshold = float(sys.argv[3])
+for key in ("grid", "runs"):
+    if base.get(key) != cur.get(key):
+        print(f"bench_compare: baseline {key}={base.get(key)!r} vs current "
+              f"{key}={cur.get(key)!r}; not comparable, skipping")
+        sys.exit(0)
+
+b, c = base.get("seconds"), cur.get("seconds")
+if not b or not c or b <= 0 or c <= 0:
+    print("bench_compare: missing or non-positive seconds; skipping")
+    sys.exit(0)
+
+delta_pct = (c - b) / b * 100.0
+print(f"bench_compare: grid {cur['grid']!r} ({cur['runs']} runs): "
+      f"baseline {b:.3f}s -> current {c:.3f}s "
+      f"({delta_pct:+.1f}%, threshold +{threshold:.0f}%)")
+if delta_pct > threshold:
+    print(f"bench_compare: FAIL — sweep wall time regressed "
+          f"{delta_pct:.1f}% > {threshold:.0f}%", file=sys.stderr)
+    sys.exit(1)
+print("bench_compare: OK")
+EOF

@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_sweep.sh — the sweep perf-trajectory smoke: run the quick-threshold
+# grid through the sweep engine and record the timing in BENCH_sweep.json.
+# Reports go to a scratch directory; only the timing record survives.
+#
+# Runs under set -eu so a failing `go run` (or a missing grid file) aborts
+# the script — and the make target — with that failure's status, instead of
+# the old recipe's status-capture chain that could mask it behind cleanup.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+# Best of three: the grid takes ~50ms, so a single sample is at the mercy
+# of one scheduling hiccup; the minimum wall time is the stable statistic
+# the bench-compare gate should judge.
+for i in 1 2 3; do
+	go run ./cmd/dcsim sweep -grid examples/grids/quick-threshold.json \
+		-workers 4 -out "$out" -quiet -bench "$out/bench.$i.json"
+done
+
+python3 - "$out"/bench.*.json <<'EOF'
+import json, sys
+
+records = [json.load(open(p)) for p in sys.argv[1:]]
+best = min(records, key=lambda r: r["seconds"])
+with open("BENCH_sweep.json", "w") as f:
+    json.dump(best, f, indent=2)
+    f.write("\n")
+EOF
+
+cat BENCH_sweep.json
