@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 .PHONY: ci lint fmt vet staticcheck staticcheck-version build test race \
 	bench bench-sweep bench-alloc bench-compare leakcheck
 
-ci: lint build test race bench-sweep bench-compare bench-alloc
+ci: lint build test race bench-compare
 
 # lint is the static gate CI's lint job runs: formatting, go vet,
 # staticcheck, and the public-API leak check.
@@ -75,10 +75,10 @@ bench-alloc:
 bench-sweep:
 	./scripts/bench_sweep.sh
 
-# bench-compare fails when the freshly recorded BENCH_sweep.json wall time
-# regresses more than BENCH_REGRESS_PCT percent (default 100) against the
-# committed baseline, printing the delta either way. Depends on
-# bench-sweep so the comparison always reads a fresh record, even under
-# `make -j`.
-bench-compare: bench-sweep
+# bench-compare fails when the freshly recorded BENCH_sweep.json or
+# BENCH_alloc.json regresses more than BENCH_REGRESS_PCT percent (default
+# 100) against the committed baselines, printing the deltas either way.
+# Depends on both recorders so the comparison always reads fresh records,
+# even under `make -j`.
+bench-compare: bench-sweep bench-alloc
 	./scripts/bench_compare.sh

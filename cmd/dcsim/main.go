@@ -40,6 +40,8 @@ func main() {
 	def := dcsim.DefaultScenario()
 	var (
 		scenario  = flag.String("scenario", "", "JSON scenario file (explicitly set flags override it)")
+		workload  = flag.String("workload", def.Workload.Kind, "workload kind: "+strings.Join(dcsim.WorkloadKinds(), ", "))
+		tracedir  = flag.String("tracedir", "", "recorded trace directory for the trace-dir workload kind (see tracegen -dir)")
 		policy    = flag.String("policy", def.Policy, "placement policy: "+strings.Join(dcsim.Policies(), ", "))
 		governor  = flag.String("governor", "", "frequency governor: "+strings.Join(dcsim.Governors(), ", ")+" (default pairs with the policy)")
 		predictor = flag.String("predictor", def.Predictor, "predictor: "+strings.Join(dcsim.Predictors(), ", "))
@@ -69,6 +71,17 @@ func main() {
 	// through its default (which mirrors DefaultScenario, so -help shows
 	// the real values).
 	use := func(name string) bool { return set[name] || *scenario == "" }
+	if use("workload") {
+		sc.Workload.Kind = *workload
+	}
+	if set["tracedir"] {
+		sc.Workload.Path = *tracedir
+		if !set["workload"] && sc.Workload.Kind == def.Workload.Kind {
+			// A trace directory implies the trace-dir kind; requiring both
+			// flags for the common case would just invite mismatches.
+			sc.Workload.Kind = "trace-dir"
+		}
+	}
 	if use("policy") {
 		sc.Policy = *policy
 	}

@@ -26,6 +26,8 @@ func sweepMain(args []string) {
 	fs := flag.NewFlagSet("dcsim sweep", flag.ExitOnError)
 	var (
 		gridPath = fs.String("grid", "", "JSON grid file (required; see examples/grids/)")
+		workload = fs.String("workload", "", "override the grid base's workload kind (see dcsim -help for kinds)")
+		tracedir = fs.String("tracedir", "", "recorded trace directory for the trace-dir workload kind; implies -workload trace-dir when the base kind is unset or the default")
 		workers  = fs.Int("workers", 0, "concurrent runs (default GOMAXPROCS, or the remote capacity with -remote; aggregates are identical at any count)")
 		outDir   = fs.String("out", ".", "directory the JSON and CSV reports are written to")
 		progress = fs.Bool("progress", false, "print each cell's aggregate as it completes")
@@ -50,8 +52,31 @@ func sweepMain(args []string) {
 		fs.Usage()
 		log.Fatal("sweep: -grid is required")
 	}
-	g, err := sweep.LoadGrid(*gridPath)
+	// Decode first, validate after the workload overrides: a grid written
+	// for recorded traces may not validate until -tracedir points it at
+	// the recording.
+	gridData, err := os.ReadFile(*gridPath)
 	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := sweep.DecodeGrid(gridData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *workload != "" {
+		g.Base.Workload.Kind = *workload
+	}
+	if *tracedir != "" {
+		g.Base.Workload.Path = *tracedir
+		// A trace directory implies the trace-dir kind unless the grid or
+		// -workload picked a non-default kind — the same rule the run
+		// command applies, so a grid that spells out the default
+		// "datacenter" behaves like one that omits it.
+		if *workload == "" && (g.Base.Workload.Kind == "" || g.Base.Workload.Kind == "datacenter") {
+			g.Base.Workload.Kind = "trace-dir"
+		}
+	}
+	if err := g.Validate(); err != nil {
 		log.Fatal(err)
 	}
 	runs, err := g.Runs()

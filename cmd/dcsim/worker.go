@@ -41,9 +41,10 @@ func workerMain(args []string) {
 		log.Fatal(err)
 	}
 	caps := remote.LocalCapabilities()
-	log.Printf("worker listening on %s (policies: %s; governors: %s; predictors: %s; servers: %s)",
+	log.Printf("worker listening on %s (policies: %s; governors: %s; predictors: %s; servers: %s; workloads: %s)",
 		ln.Addr(), strings.Join(caps.Policies, ", "), strings.Join(caps.Governors, ", "),
-		strings.Join(caps.Predictors, ", "), strings.Join(caps.Servers, ", "))
+		strings.Join(caps.Predictors, ", "), strings.Join(caps.Servers, ", "),
+		strings.Join(caps.Workloads, ", "))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"testing"
 	"time"
 )
@@ -13,6 +14,10 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add([]byte("t,a,b\n0,1,2\n1,3,4\n2,5,6\n"))
 	f.Add([]byte("garbage"))
 	f.Add([]byte("t,x\n0,nan\n1,2\n"))
+	f.Add([]byte("t,x\n0.000000,1\n0.000500,2\n0.001000,3\n")) // sub-ms interval
+	// 1s/3: too short for the drift cross-check to distinguish from a
+	// genuine 333333µs recording — accepted as one (see ReadCSV docs).
+	f.Add([]byte("t,x\n0.000000,1\n0.333333,2\n0.666667,3\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		names, series, err := ReadCSV(bytes.NewReader(data))
 		if err != nil {
@@ -21,10 +26,10 @@ func FuzzReadCSV(f *testing.F) {
 		if len(names) != len(series) {
 			t.Fatalf("%d names for %d series", len(names), len(series))
 		}
-		if series[0].Interval() < time.Millisecond {
-			// WriteCSV emits millisecond-precision timestamps; finer
-			// intervals cannot round-trip and are out of contract.
-			return
+		// Everything ReadCSV accepts carries a whole-microsecond interval
+		// (the format's resolution), so it must re-encode and re-read.
+		if iv := series[0].Interval(); iv < time.Microsecond || iv%time.Microsecond != 0 {
+			t.Fatalf("accepted interval %v is outside the format contract", iv)
 		}
 		var buf bytes.Buffer
 		if err := WriteCSV(&buf, names, series); err != nil {
@@ -36,6 +41,15 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if len(names2) != len(names) || len(series2) != len(series) {
 			t.Fatal("round-trip changed shape")
+		}
+		// Samples round-trip losslessly (shortest-form float encoding).
+		for j, s := range series {
+			for i := 0; i < s.Len(); i++ {
+				a, b := s.At(i), series2[j].At(i)
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("series %d sample %d: %v -> %v", j, i, a, b)
+				}
+			}
 		}
 	})
 }

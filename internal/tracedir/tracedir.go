@@ -1,0 +1,334 @@
+// Package tracedir implements the "trace-dir" workload backend: a
+// directory of recorded demand-trace CSVs plus a manifest.json describing
+// them. It is the first file-backed model.WorkloadSource — the seam that
+// lets simulations and sweeps chew through recorded production traces
+// instead of synthesizing locally.
+//
+// Layout: one manifest.json naming every VM in canonical order, the
+// sampling interval, the horizon, and the CSV files (each holding a chunk
+// of VM columns in WriteCSV format). Files are loaded one at a time, so
+// memory stays bounded by one chunk plus the assembled dataset, and a
+// sweep worker only pays for the traces a scenario actually names.
+package tracedir
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
+)
+
+// ManifestName is the manifest's file name inside a trace directory.
+const ManifestName = "manifest.json"
+
+// Version is the manifest format version this package writes and accepts.
+const Version = 1
+
+// FileEntry names one CSV chunk and the VM columns it holds, in column
+// order.
+type FileEntry struct {
+	File  string   `json:"file"`
+	Names []string `json:"names"`
+}
+
+// Manifest describes a recorded trace directory: the canonical VM order,
+// the shared sample interval and count, the horizon, and the chunk files.
+// It is what scenario validation checks a Workload against before any
+// trace bytes are read.
+type Manifest struct {
+	Version int `json:"version"`
+	// Interval is the fine sample interval (time.Duration string).
+	Interval string `json:"interval"`
+	// Samples is the per-VM sample count; Samples × Interval must equal
+	// Hours hours exactly.
+	Samples int `json:"samples"`
+	// Hours is the trace horizon, the unit scenarios speak.
+	Hours int `json:"hours"`
+	// CoarseFactor is the number of fine samples per coarse sample when
+	// the recording carries a coarse granularity (0 = fine only).
+	CoarseFactor int `json:"coarse_factor,omitempty"`
+	// Names lists every VM in canonical dataset order.
+	Names []string `json:"names"`
+	// Groups optionally records the service-group index per VM —
+	// provenance from a synthetic recording, not validated against
+	// scenarios.
+	Groups []int `json:"groups,omitempty"`
+	// Files lists the CSV chunks; concatenating their columns in file
+	// order must reproduce Names exactly.
+	Files []FileEntry `json:"files"`
+}
+
+// interval parses the manifest's interval string.
+func (m *Manifest) interval() (time.Duration, error) {
+	iv, err := time.ParseDuration(m.Interval)
+	if err != nil {
+		return 0, fmt.Errorf("tracedir: bad manifest interval %q: %w", m.Interval, err)
+	}
+	if iv <= 0 {
+		return 0, fmt.Errorf("tracedir: non-positive manifest interval %q", m.Interval)
+	}
+	return iv, nil
+}
+
+// validate checks the manifest's internal consistency.
+func (m *Manifest) validate() error {
+	if m.Version != Version {
+		return fmt.Errorf("tracedir: manifest version %d, want %d", m.Version, Version)
+	}
+	if len(m.Names) == 0 {
+		return fmt.Errorf("tracedir: manifest names no VMs")
+	}
+	if m.Samples < 2 {
+		return fmt.Errorf("tracedir: manifest needs at least 2 samples, got %d", m.Samples)
+	}
+	if m.Hours < 1 {
+		return fmt.Errorf("tracedir: manifest needs a positive horizon, got %d hours", m.Hours)
+	}
+	iv, err := m.interval()
+	if err != nil {
+		return err
+	}
+	if span := time.Duration(m.Samples) * iv; span != time.Duration(m.Hours)*time.Hour {
+		return fmt.Errorf("tracedir: %d samples at %v span %v, manifest claims %d h",
+			m.Samples, iv, span, m.Hours)
+	}
+	if len(m.Groups) != 0 && len(m.Groups) != len(m.Names) {
+		return fmt.Errorf("tracedir: %d group entries for %d VMs", len(m.Groups), len(m.Names))
+	}
+	seen := make(map[string]bool, len(m.Names))
+	for _, n := range m.Names {
+		if n == "" {
+			return fmt.Errorf("tracedir: empty VM name in manifest")
+		}
+		if seen[n] {
+			return fmt.Errorf("tracedir: duplicate VM name %q in manifest", n)
+		}
+		seen[n] = true
+	}
+	// The chunk columns, concatenated in file order, must be exactly the
+	// canonical name list: assembly then never reorders or searches.
+	i := 0
+	for _, f := range m.Files {
+		if f.File == "" {
+			return fmt.Errorf("tracedir: manifest file entry with empty name")
+		}
+		if filepath.Base(f.File) != f.File {
+			return fmt.Errorf("tracedir: manifest file %q must be a bare file name", f.File)
+		}
+		for _, n := range f.Names {
+			if i >= len(m.Names) || m.Names[i] != n {
+				return fmt.Errorf("tracedir: file %q column %q does not match canonical name order", f.File, n)
+			}
+			i++
+		}
+	}
+	if i != len(m.Names) {
+		return fmt.Errorf("tracedir: manifest files cover %d of %d VMs", i, len(m.Names))
+	}
+	return nil
+}
+
+// CheckWorkload validates the manifest against a workload description: a
+// nonzero VM count or horizon in the scenario must match the recording.
+func (m *Manifest) CheckWorkload(w model.Workload) error {
+	if w.VMs != 0 && w.VMs != len(m.Names) {
+		return fmt.Errorf("tracedir: %s records %d VMs, scenario wants %d",
+			w.Path, len(m.Names), w.VMs)
+	}
+	if w.Hours != 0 && w.Hours != m.Hours {
+		return fmt.Errorf("tracedir: %s records %d h, scenario wants %d h",
+			w.Path, m.Hours, w.Hours)
+	}
+	return nil
+}
+
+// ReadManifest loads and validates dir's manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("tracedir: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("tracedir: parse %s: %w", filepath.Join(dir, ManifestName), err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Write records a dataset's fine traces as a trace directory: chunked CSVs
+// of at most perFile VM columns each, then the manifest (written last, so
+// a torn write leaves an unreadable directory instead of a plausible one).
+// The dataset's horizon must be a whole number of hours — the unit
+// scenarios validate against.
+func Write(dir string, ds *model.Dataset, perFile int) error {
+	if ds == nil || len(ds.Fine) == 0 {
+		return fmt.Errorf("tracedir: no fine traces to write")
+	}
+	if len(ds.Names) != len(ds.Fine) {
+		return fmt.Errorf("tracedir: %d names for %d traces", len(ds.Names), len(ds.Fine))
+	}
+	if perFile < 1 {
+		perFile = len(ds.Fine)
+	}
+	iv := ds.Fine[0].Interval()
+	samples := ds.Fine[0].Len()
+	span := time.Duration(samples) * iv
+	if span <= 0 || span%time.Hour != 0 {
+		return fmt.Errorf("tracedir: horizon %v is not a whole number of hours", span)
+	}
+	coarseFactor := 0
+	if len(ds.Coarse) == len(ds.Fine) && len(ds.Coarse) > 0 && ds.Coarse[0].Interval() > iv &&
+		ds.Coarse[0].Interval()%iv == 0 {
+		coarseFactor = int(ds.Coarse[0].Interval() / iv)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tracedir: %w", err)
+	}
+	m := &Manifest{
+		Version:      Version,
+		Interval:     iv.String(),
+		Samples:      samples,
+		Hours:        int(span / time.Hour),
+		CoarseFactor: coarseFactor,
+		Names:        ds.Names,
+		Groups:       ds.Group,
+	}
+	for lo := 0; lo < len(ds.Fine); lo += perFile {
+		hi := lo + perFile
+		if hi > len(ds.Fine) {
+			hi = len(ds.Fine)
+		}
+		name := fmt.Sprintf("traces-%03d.csv", len(m.Files))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("tracedir: %w", err)
+		}
+		err = trace.WriteCSV(f, ds.Names[lo:hi], ds.Fine[lo:hi])
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("tracedir: write %s: %w", name, err)
+		}
+		m.Files = append(m.Files, FileEntry{File: name, Names: ds.Names[lo:hi]})
+	}
+	if err := m.validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tracedir: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("tracedir: %w", err)
+	}
+	return nil
+}
+
+// Source is the "trace-dir" workload backend: Workload.Path names a
+// directory written by Write (or by cmd/tracegen -dir), and Traces streams
+// it back chunk by chunk. The zero value is ready to use.
+type Source struct{}
+
+// SeedInvariant implements model.SeedInvariantSource: a recording is the
+// same trace at every seed, so seed replicas over it are meaningless.
+func (Source) SeedInvariant() bool { return true }
+
+// Check implements model.WorkloadSource: the manifest must exist, be
+// internally consistent, and match the workload's VM count and horizon —
+// all without reading any trace bytes.
+func (Source) Check(w model.Workload) error {
+	if w.Path == "" {
+		return fmt.Errorf("tracedir: workload kind %q needs a path (the recorded trace directory)", w.Kind)
+	}
+	m, err := ReadManifest(w.Path)
+	if err != nil {
+		return err
+	}
+	return m.CheckWorkload(w)
+}
+
+// Traces implements model.WorkloadSource: load the recorded fine traces
+// file by file, verify each chunk against the manifest, and derive the
+// coarse granularity by averaging when the manifest records a factor.
+func (Source) Traces(w model.Workload) (*model.Dataset, error) {
+	if w.Path == "" {
+		return nil, fmt.Errorf("tracedir: workload kind %q needs a path (the recorded trace directory)", w.Kind)
+	}
+	m, err := ReadManifest(w.Path)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CheckWorkload(w); err != nil {
+		return nil, err
+	}
+	iv, err := m.interval()
+	if err != nil {
+		return nil, err
+	}
+	ds := &model.Dataset{
+		Names: append([]string(nil), m.Names...),
+		Fine:  make([]*model.Series, 0, len(m.Names)),
+	}
+	if len(m.Groups) == len(m.Names) {
+		ds.Group = append([]int(nil), m.Groups...)
+	}
+	for _, entry := range m.Files {
+		names, series, err := readChunk(filepath.Join(w.Path, entry.File))
+		if err != nil {
+			return nil, err
+		}
+		if len(names) != len(entry.Names) {
+			return nil, fmt.Errorf("tracedir: %s holds %d VMs, manifest lists %d",
+				entry.File, len(names), len(entry.Names))
+		}
+		for i, n := range names {
+			if n != entry.Names[i] {
+				return nil, fmt.Errorf("tracedir: %s column %d is %q, manifest lists %q",
+					entry.File, i, n, entry.Names[i])
+			}
+		}
+		for _, s := range series {
+			if s.Interval() != iv {
+				return nil, fmt.Errorf("tracedir: %s sampled at %v, manifest claims %v",
+					entry.File, s.Interval(), iv)
+			}
+			if s.Len() != m.Samples {
+				return nil, fmt.Errorf("tracedir: %s holds %d samples per VM, manifest claims %d",
+					entry.File, s.Len(), m.Samples)
+			}
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("tracedir: %s: %w", entry.File, err)
+			}
+		}
+		ds.Fine = append(ds.Fine, series...)
+	}
+	if m.CoarseFactor > 1 {
+		ds.Coarse = make([]*model.Series, len(ds.Fine))
+		for i, s := range ds.Fine {
+			ds.Coarse[i] = s.Downsample(m.CoarseFactor)
+		}
+	}
+	return ds, nil
+}
+
+// readChunk loads one CSV chunk.
+func readChunk(path string) ([]string, []*trace.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tracedir: %w", err)
+	}
+	defer f.Close()
+	names, series, err := trace.ReadCSV(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tracedir: read %s: %w", path, err)
+	}
+	return names, series, nil
+}

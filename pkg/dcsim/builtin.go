@@ -8,6 +8,7 @@ package dcsim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/place"
@@ -16,6 +17,8 @@ import (
 	"repro/internal/reg"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/tracedir"
 	"repro/pkg/dcsim/model"
 )
 
@@ -24,7 +27,53 @@ var (
 	governorReg  = reg.New[GovernorFactory]("dcsim", "governor")
 	predictorReg = reg.New[PredictorFactory]("dcsim", "predictor")
 	serverReg    = reg.New[ServerModel]("dcsim", "server model")
+	workloadReg  = reg.New[model.WorkloadSource]("dcsim", "workload kind")
 )
+
+// synthSource is the built-in synthetic workload backend: the paper's
+// Setup-2 datacenter generator, with the group structure optionally
+// shuffled away ("uncorrelated"). Zero-valued workload fields select the
+// generator defaults, mirroring Scenario.withDefaults.
+type synthSource struct{ uncorrelated bool }
+
+// Check implements model.WorkloadSource. Synthesis needs no I/O, so the
+// only fail-fast conditions are configuration errors: a path (synthetic
+// kinds read nothing from disk) or negative counts, which would otherwise
+// silently select the defaults.
+func (s synthSource) Check(w model.Workload) error {
+	if w.Path != "" {
+		return fmt.Errorf("dcsim: workload kind %q is synthetic and does not read a path (got %q)", w.Kind, w.Path)
+	}
+	if w.VMs < 0 || w.Groups < 0 || w.Hours < 0 {
+		return fmt.Errorf("dcsim: workload kind %q needs non-negative vms/groups/hours (0 = default), got %d/%d/%d",
+			w.Kind, w.VMs, w.Groups, w.Hours)
+	}
+	return nil
+}
+
+// Traces implements model.WorkloadSource, deterministically in the seed.
+func (s synthSource) Traces(w model.Workload) (*model.Dataset, error) {
+	if err := s.Check(w); err != nil {
+		return nil, err
+	}
+	cfg := synth.DefaultDatacenterConfig()
+	if w.VMs > 0 {
+		cfg.VMs = w.VMs
+	}
+	if w.Groups > 0 {
+		cfg.Groups = w.Groups
+	}
+	if w.Hours > 0 {
+		cfg.Day = time.Duration(w.Hours) * time.Hour
+	}
+	if w.Seed != 0 {
+		cfg.Seed = w.Seed
+	}
+	if s.uncorrelated {
+		return synth.Uncorrelated(cfg), nil
+	}
+	return synth.Datacenter(cfg), nil
+}
 
 // newCostSource builds the engine's streaming Eqn-1 cost matrix — the
 // CostSource implementation Build.Matrix hands to components.
@@ -33,6 +82,13 @@ func newCostSource(n int, pctl float64) model.CostSource {
 }
 
 func init() {
+	// Workload backends: the two synthetic generators the paper's Setup 2
+	// uses, plus the recorded-trace directory reader. Out-of-tree modules
+	// register theirs exactly like this, against model types alone.
+	RegisterWorkload("datacenter", synthSource{})
+	RegisterWorkload("uncorrelated", synthSource{uncorrelated: true})
+	RegisterWorkload("trace-dir", tracedir.Source{})
+
 	// Placement policies. "corr" is a convenience alias for the paper's
 	// correlation-aware allocator.
 	corrAware := func(b *Build) (model.Policy, error) {

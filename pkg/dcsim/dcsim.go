@@ -14,12 +14,8 @@ package dcsim
 
 import (
 	"context"
-	"fmt"
-	"time"
 
 	"repro/internal/sim"
-	"repro/internal/synth"
-	"repro/internal/vmmodel"
 	"repro/pkg/dcsim/model"
 )
 
@@ -38,55 +34,6 @@ type Dataset = model.Dataset
 // Series is a fixed-interval time series of utilization samples. It is the
 // contract type model.Series.
 type Series = model.Series
-
-// kindErr reports an unknown workload kind; the empty kind means the
-// default "datacenter".
-func (w Workload) kindErr() error {
-	switch w.Kind {
-	case "", "datacenter", "uncorrelated":
-		return nil
-	}
-	return fmt.Errorf("dcsim: unknown workload kind %q (have datacenter, uncorrelated)", w.Kind)
-}
-
-// GenerateTraces synthesizes the demand traces a Workload describes,
-// deterministically in the workload's seed.
-func GenerateTraces(w Workload) (*Dataset, error) {
-	if err := w.kindErr(); err != nil {
-		return nil, err
-	}
-	if w.Kind == "" {
-		w.Kind = "datacenter"
-	}
-	cfg := synth.DefaultDatacenterConfig()
-	if w.VMs > 0 {
-		cfg.VMs = w.VMs
-	}
-	if w.Groups > 0 {
-		cfg.Groups = w.Groups
-	}
-	if w.Hours > 0 {
-		cfg.Day = time.Duration(w.Hours) * time.Hour
-	}
-	if w.Seed != 0 {
-		cfg.Seed = w.Seed
-	}
-	if w.Kind == "uncorrelated" {
-		return synth.Uncorrelated(cfg), nil
-	}
-	return synth.Datacenter(cfg), nil
-}
-
-// VMsFor synthesizes the fine-grained VM population a Workload describes.
-// It is the local workload backend; RunVMs accepts any VM population, which
-// is the seam remote trace sources plug into.
-func VMsFor(w Workload) ([]*VM, error) {
-	ds, err := GenerateTraces(w)
-	if err != nil {
-		return nil, err
-	}
-	return vmmodel.FromSeries(ds.Names, ds.Fine), nil
-}
 
 // Run assembles and executes a scenario end to end: synthesize the
 // workload, resolve every component from the registries, and simulate.
@@ -122,7 +69,7 @@ func CheckScenario(sc Scenario) error {
 	if err := sc.lookupErr(); err != nil {
 		return err
 	}
-	if err := sc.Workload.kindErr(); err != nil {
+	if err := CheckWorkload(sc.Workload); err != nil {
 		return err
 	}
 	// Dry-assemble the components so unknown scenario params fail here
@@ -144,6 +91,9 @@ func CheckScenario(sc Scenario) error {
 // lookupErr reports the first unknown registry name in the scenario
 // without instantiating anything.
 func (s Scenario) lookupErr() error {
+	if _, err := workloadReg.Lookup(kindOrDefault(s.Workload.Kind)); err != nil {
+		return err
+	}
 	if _, err := serverReg.Lookup(s.Server); err != nil {
 		return err
 	}

@@ -1,0 +1,66 @@
+package model
+
+// Workload is the serializable description of a VM demand-trace source —
+// the value a Scenario carries and a WorkloadSource consumes. It is the
+// seam workload backends plug into: the built-in kinds synthesize traces
+// locally, file-backed kinds (such as "trace-dir") stream recorded traces,
+// and an out-of-tree module can register any backend that reproduces a
+// trace set deterministically from these fields.
+type Workload struct {
+	// Kind names the workload backend in the dcsim workload-kind
+	// registry: "datacenter" (correlated service groups, the paper's
+	// Setup 2 and the default), "uncorrelated" (same marginals with the
+	// group structure shuffled away), "trace-dir" (a recorded CSV trace
+	// directory), or any registered out-of-tree kind.
+	Kind string `json:"kind"`
+	// VMs is the number of demand traces (paper: 40). File-backed kinds
+	// validate it against their manifest instead of synthesizing.
+	VMs int `json:"vms"`
+	// Groups is the number of correlated service groups (paper: 8).
+	Groups int `json:"groups"`
+	// Hours is the trace horizon (paper: 24).
+	Hours int `json:"hours"`
+	// Seed drives synthetic generators; equal seeds yield identical
+	// traces. Seed 0 selects the default seed 1 (the zero value must
+	// mean "unset" so sparse JSON configs behave like New()). Recorded
+	// kinds ignore it: a recorded trace is the same at every seed.
+	Seed int64 `json:"seed"`
+	// Path points file-backed kinds at their data (for "trace-dir", the
+	// directory holding manifest.json and the trace CSVs). Synthetic
+	// kinds reject a non-empty Path as a configuration error.
+	Path string `json:"path,omitempty"`
+}
+
+// WorkloadSource is one workload backend: it turns a Workload description
+// into the demand traces it names. Implementations must be deterministic —
+// the same Workload always yields sample-identical traces — because sweep
+// replicas, remote retries, and cross-machine aggregation all rely on
+// reproducing a run exactly.
+//
+// Register implementations under a kind name through the dcsim façade
+// (RegisterWorkload); scenario validation, sweep preflight, and the remote
+// worker's capability listing all consult that registry, so an unknown
+// kind fails before any traces are produced.
+type WorkloadSource interface {
+	// Check validates the description without producing traces — the
+	// fail-fast hook scenario validation and sweep preflight call. A
+	// file-backed source validates its manifest (names, interval,
+	// horizon) against the workload here.
+	Check(w Workload) error
+	// Traces produces the dataset the description names. It must not
+	// assume Check ran first (callers may hold the source directly, and
+	// file-backed data can change between the two calls), so it
+	// revalidates whatever it depends on.
+	Traces(w Workload) (*Dataset, error)
+}
+
+// SeedInvariantSource is an optional WorkloadSource capability: a source
+// whose traces do not depend on Workload.Seed — recorded traces are the
+// same at every seed — reports true. Sweep validation uses it to reject
+// seed replicas over such a source: N identical replicas would report a
+// zero stddev and a zero-width confidence interval, which is exactly the
+// silently-deflated-statistics failure the replica machinery must never
+// produce. Sources without the method are assumed seed-sensitive.
+type SeedInvariantSource interface {
+	SeedInvariant() bool
+}

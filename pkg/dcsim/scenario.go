@@ -7,28 +7,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+
+	"repro/pkg/dcsim/model"
 )
 
-// Workload describes the VM demand-trace source of a Scenario. It is the
-// seam later remote/streamed workload backends plug into: today every kind
-// is synthesized locally, but the field set is what a backend needs to
-// reproduce a trace deterministically.
-type Workload struct {
-	// Kind selects the generator: "datacenter" (correlated service
-	// groups, the paper's Setup 2 and the default) or "uncorrelated"
-	// (same marginals with the group structure shuffled away).
-	Kind string `json:"kind"`
-	// VMs is the number of demand traces (paper: 40).
-	VMs int `json:"vms"`
-	// Groups is the number of correlated service groups (paper: 8).
-	Groups int `json:"groups"`
-	// Hours is the trace horizon (paper: 24).
-	Hours int `json:"hours"`
-	// Seed drives the generator; equal seeds yield identical traces.
-	// Seed 0 selects the default seed 1 (the zero value must mean
-	// "unset" so sparse JSON configs behave like New()).
-	Seed int64 `json:"seed"`
-}
+// Workload describes the VM demand-trace source of a Scenario: a kind from
+// the workload-kind registry plus the fields a backend needs to reproduce
+// the traces deterministically. It is the contract type model.Workload.
+type Workload = model.Workload
 
 // Scenario is the JSON-serializable description of one simulation run: the
 // server model, workload source, policy/governor/predictor registry names,
@@ -128,6 +114,13 @@ func WithPredictor(name string) Option { return func(s *Scenario) { s.Predictor 
 
 // WithWorkload replaces the whole workload description.
 func WithWorkload(w Workload) Option { return func(s *Scenario) { s.Workload = w } }
+
+// WithWorkloadKind selects the workload backend by registry kind.
+func WithWorkloadKind(kind string) Option { return func(s *Scenario) { s.Workload.Kind = kind } }
+
+// WithTracePath points a file-backed workload kind (e.g. "trace-dir") at
+// its data directory.
+func WithTracePath(path string) Option { return func(s *Scenario) { s.Workload.Path = path } }
 
 // WithVMs sets the workload's VM count.
 func WithVMs(n int) Option { return func(s *Scenario) { s.Workload.VMs = n } }

@@ -84,11 +84,34 @@ func (c Cell) Name() string {
 }
 
 // Replica returns the scenario of the r-th seed replica: the cell scenario
-// with the workload seed advanced by r seed strides.
+// with the workload seed advanced by r seed strides, skipping seed 0.
 func (c Cell) Replica(r int, stride int64) dcsim.Scenario {
 	sc := c.Scenario
-	sc.Workload.Seed += int64(r) * stride
+	sc.Workload.Seed = replicaSeed(sc.Workload.Seed, r, stride)
 	return sc
+}
+
+// replicaSeed derives the r-th replica seed: base advanced by r strides,
+// with the value 0 skipped. Seed 0 means "unset → default seed 1" to the
+// façade (see dcsim.Workload.Seed), so a replica landing on it would
+// silently replay the default-seed traces instead of its own — two
+// replicas of one cell running byte-identical traces and deflating every
+// stddev/CI. Skipping keeps the sequence strictly monotone in r, so all
+// replica seeds stay distinct.
+func replicaSeed(base int64, r int, stride int64) int64 {
+	s := base + int64(r)*stride
+	if stride == 0 {
+		return s
+	}
+	// The progression base, base+stride, … hits 0 exactly when base is a
+	// multiple of stride with the crossing at r0 ≥ 0; every replica at or
+	// past the crossing shifts one further stride.
+	if base%stride == 0 {
+		if r0 := -base / stride; r0 >= 0 && int64(r) >= r0 {
+			s += stride
+		}
+	}
+	return s
 }
 
 // withDefaults fills the grid's zero values.
@@ -132,6 +155,38 @@ func (g Grid) Validate() error {
 		if err := dcsim.CheckScenario(c.Scenario); err != nil {
 			return fmt.Errorf("sweep: cell %d (%s): %w", c.Index, c.Name(), err)
 		}
+		if err := replicaSeedErr(c, g.Replicas, g.SeedStride); err != nil {
+			return err
+		}
+		// Seed replicas only vary the seed; over a seed-invariant source
+		// (recorded traces) every replica would run identical traces and
+		// the aggregate would report a bogus zero stddev / zero-width CI.
+		if g.Replicas > 1 && dcsim.SeedInvariantWorkload(c.Scenario.Workload.Kind) {
+			return fmt.Errorf("sweep: cell %d (%s): workload kind %q ignores the seed, so %d replicas would run identical traces; use replicas 1",
+				c.Index, c.Name(), c.Scenario.Workload.Kind, g.Replicas)
+		}
+	}
+	return nil
+}
+
+// replicaSeedErr rejects a cell whose replica seed sequence lands on the
+// reserved seed 0 or collides with itself — belt and braces over
+// replicaSeed's skip, so any future derivation change that re-introduces
+// seed aliasing fails every grid loudly instead of silently running
+// byte-identical replicas and deflating stddev/CI.
+func replicaSeedErr(c Cell, replicas int, stride int64) error {
+	seen := make(map[int64]bool, replicas)
+	for r := 0; r < replicas; r++ {
+		s := replicaSeed(c.Scenario.Workload.Seed, r, stride)
+		if s == 0 {
+			return fmt.Errorf("sweep: cell %d (%s): replica %d derives the reserved seed 0 (base %d, stride %d)",
+				c.Index, c.Name(), r, c.Scenario.Workload.Seed, stride)
+		}
+		if seen[s] {
+			return fmt.Errorf("sweep: cell %d (%s): replica %d repeats seed %d (base %d, stride %d) — replicas would run identical traces",
+				c.Index, c.Name(), r, s, c.Scenario.Workload.Seed, stride)
+		}
+		seen[s] = true
 	}
 	return nil
 }
@@ -239,6 +294,12 @@ func Apply(sc *dcsim.Scenario, field string, v any) error {
 			return err
 		}
 		sc.Workload.Kind = s
+	case "workload.path", "path":
+		s, err := wantString(field, v)
+		if err != nil {
+			return err
+		}
+		sc.Workload.Path = s
 	case "vms":
 		n, err := wantInt(field, v)
 		if err != nil {
@@ -381,15 +442,26 @@ func formatValue(v any) string {
 	return fmt.Sprint(v)
 }
 
-// ParseGrid decodes a JSON grid, rejecting unknown fields, and validates it.
-func ParseGrid(data []byte) (Grid, error) {
+// DecodeGrid decodes a JSON grid, rejecting unknown fields, without
+// validating it — for callers that amend the grid (e.g. the sweep
+// command's -workload/-tracedir overrides) before validating themselves.
+// Most callers want ParseGrid.
+func DecodeGrid(data []byte) (Grid, error) {
 	var g Grid
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&g); err != nil {
 		return Grid{}, fmt.Errorf("sweep: parse grid: %w", err)
 	}
-	g = g.withDefaults()
+	return g.withDefaults(), nil
+}
+
+// ParseGrid decodes a JSON grid, rejecting unknown fields, and validates it.
+func ParseGrid(data []byte) (Grid, error) {
+	g, err := DecodeGrid(data)
+	if err != nil {
+		return Grid{}, err
+	}
 	if err := g.Validate(); err != nil {
 		return Grid{}, err
 	}

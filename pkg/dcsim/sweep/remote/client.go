@@ -270,7 +270,7 @@ func (e *Executor) runOn(ctx context.Context, b *backend, run sweep.CellRun) (*d
 		return nil, &retryableError{err}
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
 		return nil, &retryableError{fmt.Errorf("read response: %w", err)}
 	}
@@ -288,6 +288,11 @@ func (e *Executor) runOn(ctx context.Context, b *backend, run sweep.CellRun) (*d
 		return nil, &retryableError{fmt.Errorf("status %d: %s", resp.StatusCode, snippet(data))}
 	}
 }
+
+// maxBodyBytes bounds every response body this client reads — run
+// results, capability listings, and health probes alike — so a confused
+// or hostile endpoint cannot balloon the sweep driver's memory.
+const maxBodyBytes = 64 << 20
 
 // retryableError marks transport-level failures that justify failover.
 type retryableError struct{ err error }
@@ -361,6 +366,7 @@ func (e *Executor) PreflightGrid(ctx context.Context, g sweep.Grid) error {
 		needs[need{"governor", sc.Governor}] = true
 		needs[need{"predictor", sc.Predictor}] = true
 		needs[need{"server", sc.Server}] = true
+		needs[need{"workload", sc.Workload.Kind}] = true
 	}
 	bad := e.eachWorker(ctx, func(ctx context.Context, url string) error {
 		if err := Health(ctx, e.cfg.client, url); err != nil {
@@ -374,6 +380,7 @@ func (e *Executor) PreflightGrid(ctx context.Context, g sweep.Grid) error {
 		for kind, names := range map[string][]string{
 			"policy": caps.Policies, "governor": caps.Governors,
 			"predictor": caps.Predictors, "server": caps.Servers,
+			"workload": caps.Workloads,
 		} {
 			for _, n := range names {
 				has[need{kind, n}] = true
@@ -438,7 +445,9 @@ func getJSON(ctx context.Context, client *http.Client, url string, v any) error 
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("remote: GET %s: status %d: %s", url, resp.StatusCode, snippet(data))
 	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+	// The same body bound runOn applies: an OK status from a confused
+	// endpoint must not stream an unbounded body into the decoder.
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(v); err != nil {
 		return fmt.Errorf("remote: GET %s: decode: %w", url, err)
 	}
 	return nil

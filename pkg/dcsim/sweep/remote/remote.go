@@ -74,13 +74,15 @@ func (e *Error) Error() string {
 var ErrAllWorkersDown = errors.New("remote: all workers down")
 
 // Capabilities is a worker's registry listing — the component names its
-// process can resolve. Clients use it to check that a grid's out-of-tree
-// components are registered on every worker before fanning out.
+// process can resolve, including the workload kinds it can source traces
+// from. Clients use it to check that a grid's out-of-tree components and
+// workload backends are registered on every worker before fanning out.
 type Capabilities struct {
 	Policies   []string `json:"policies"`
 	Governors  []string `json:"governors"`
 	Predictors []string `json:"predictors"`
 	Servers    []string `json:"servers"`
+	Workloads  []string `json:"workloads"`
 }
 
 // LocalCapabilities lists the component names registered in this process.
@@ -90,6 +92,7 @@ func LocalCapabilities() Capabilities {
 		Governors:  dcsim.Governors(),
 		Predictors: dcsim.Predictors(),
 		Servers:    dcsim.Servers(),
+		Workloads:  dcsim.WorkloadKinds(),
 	}
 }
 

@@ -546,3 +546,73 @@ func TestAllDownDoesNotDeadlockManyWaiters(t *testing.T) {
 		t.Fatal("waiters deadlocked after all workers died")
 	}
 }
+
+// TestPreflightGridCatchesUnknownWorkloadKind: the recorded-trace analogue
+// of the component preflight — a grid naming a workload kind a worker
+// cannot source fails before any fan-out, naming the worker and the kind.
+func TestPreflightGridCatchesUnknownWorkloadKind(t *testing.T) {
+	urls := cluster(t, 1, nil)
+	exec, err := NewExecutor(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tinyGrid()
+	g.Base.Workload.Kind = "object-store" // registered nowhere
+	err = exec.PreflightGrid(context.Background(), g)
+	if err == nil || !strings.Contains(err.Error(), urls[0]) ||
+		!strings.Contains(err.Error(), "workload object-store") {
+		t.Fatalf("preflight = %v, want failure naming %s and workload object-store", err, urls[0])
+	}
+	// The same cluster serves the built-in kinds.
+	if err := exec.PreflightGrid(context.Background(), tinyGrid()); err != nil {
+		t.Fatalf("preflight with built-in workload: %v", err)
+	}
+
+	// A worker advertising a pre-workload capability document (no
+	// "workloads" array) cannot prove it serves any kind: even the
+	// default one must fail the check rather than be assumed.
+	legacy := cluster(t, 1, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/capabilities" {
+				h.ServeHTTP(w, r)
+				return
+			}
+			caps := LocalCapabilities()
+			caps.Workloads = nil
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(caps); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	exec, err = NewExecutor(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = exec.PreflightGrid(context.Background(), tinyGrid())
+	if err == nil || !strings.Contains(err.Error(), "workload datacenter") {
+		t.Fatalf("preflight against legacy listing = %v, want missing workload datacenter", err)
+	}
+}
+
+// TestUnknownWorkloadKindTypedError: the worker classifies a cell naming
+// an unregistered workload kind as unknown_component, exactly like any
+// other registry miss — deterministic, so never retried.
+func TestUnknownWorkloadKindTypedError(t *testing.T) {
+	urls := cluster(t, 1, nil)
+	exec, err := NewExecutor(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := dcsim.New(dcsim.WithVMs(6), dcsim.WithHours(1), dcsim.WithMaxServers(5))
+	sc.Workload.Kind = "object-store"
+	run := sweep.CellRun{Cell: sweep.Cell{Index: 0, Scenario: sc}, SeedStride: 1}
+	_, err = exec.ExecuteCell(context.Background(), run)
+	var typed *Error
+	if !errors.As(err, &typed) || typed.Code != CodeUnknownComponent {
+		t.Fatalf("err = %v, want *Error with CodeUnknownComponent", err)
+	}
+	if !strings.Contains(typed.Message, "object-store") {
+		t.Fatalf("message %q does not name the missing workload kind", typed.Message)
+	}
+}

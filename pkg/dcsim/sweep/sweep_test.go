@@ -326,3 +326,135 @@ func TestSingleReplicaCollapsesCI(t *testing.T) {
 		t.Fatal("energy mean should be positive")
 	}
 }
+
+// TestReplicaSeedSkipsZero pins the replica seed derivation: arithmetic in
+// r and stride, with the reserved seed 0 skipped — 0 means "default seed
+// 1" to the façade, so landing on it aliased a replica onto the default
+// traces.
+func TestReplicaSeedSkipsZero(t *testing.T) {
+	cases := []struct {
+		base, stride int64
+		want         []int64
+	}{
+		{1, 1, []int64{1, 2, 3, 4}},       // all-positive: untouched
+		{-1, 1, []int64{-1, 1, 2, 3}},     // crosses 0 upward
+		{1, -1, []int64{1, -1, -2, -3}},   // the aliasing shape: crosses 0 downward
+		{-4, 2, []int64{-4, -2, 2, 4}},    // multiple-of-stride crossing
+		{-3, 2, []int64{-3, -1, 1, 3}},    // crossing between seeds: no skip needed
+		{5, -3, []int64{5, 2, -1, -4}},    // never hits 0
+		{-2, -1, []int64{-2, -3, -4, -5}}, // moves away from 0
+	}
+	for _, c := range cases {
+		for r, want := range c.want {
+			if got := replicaSeed(c.base, r, c.stride); got != want {
+				t.Errorf("replicaSeed(%d, %d, %d) = %d, want %d", c.base, r, c.stride, got, want)
+			}
+		}
+	}
+	// Property: for any nonzero base and stride the sequence never hits 0
+	// and never repeats.
+	for base := int64(-6); base <= 6; base++ {
+		if base == 0 {
+			continue
+		}
+		for stride := int64(-4); stride <= 4; stride++ {
+			if stride == 0 {
+				continue
+			}
+			seen := map[int64]bool{}
+			for r := 0; r < 10; r++ {
+				s := replicaSeed(base, r, stride)
+				if s == 0 {
+					t.Fatalf("replicaSeed(%d, %d, %d) = 0", base, r, stride)
+				}
+				if seen[s] {
+					t.Fatalf("replicaSeed(%d, ·, %d) repeats %d", base, stride, s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+// TestSeedAliasingRegression is the bug this PR fixes: with base seed 1
+// and stride -1, replica 1 used to derive seed 0, which GenerateTraces
+// maps to the default seed 1 — two replicas running byte-identical traces
+// and a stddev/95%-CI of exactly 0. The fix must keep the replicas on
+// distinct traces, visible as nonzero spread in the aggregate.
+func TestSeedAliasingRegression(t *testing.T) {
+	g := Grid{
+		Name:       "alias-regression",
+		Base:       tinyBase(),
+		Axes:       []Axis{{Field: "policy", Values: []any{"bfd"}}},
+		Replicas:   2,
+		SeedStride: -1,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := cells[0].Replica(0, g.SeedStride).Workload.Seed
+	s1 := cells[0].Replica(1, g.SeedStride).Workload.Seed
+	if s0 != 1 || s1 != -1 {
+		t.Fatalf("replica seeds = %d, %d; want 1, -1 (0 skipped)", s0, s1)
+	}
+	res, err := Run(context.Background(), g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if c.EnergyJ.N != 2 {
+		t.Fatalf("aggregated %d replicas, want 2", c.EnergyJ.N)
+	}
+	if c.EnergyJ.StdDev == 0 && c.MeanActive.StdDev == 0 && c.MeanPowerW.StdDev == 0 {
+		t.Fatal("replicas produced identical aggregates: seed aliasing is back")
+	}
+}
+
+// TestReplicaSeedErrGuards: the validator's belt-and-braces check fires on
+// a derivation that collides — e.g. a hand-built stride of 0, which the
+// grid defaults normally rule out.
+func TestReplicaSeedErrGuards(t *testing.T) {
+	c := Cell{Scenario: dcsim.New(dcsim.WithSeed(5))}
+	if err := replicaSeedErr(c, 3, 0); err == nil || !strings.Contains(err.Error(), "identical traces") {
+		t.Errorf("stride-0 collision err = %v, want a collision error", err)
+	}
+	if err := replicaSeedErr(c, 3, 2); err != nil {
+		t.Errorf("healthy sequence rejected: %v", err)
+	}
+}
+
+// TestValidateRejectsReplicasOverSeedInvariantWorkload: seed replicas
+// only vary the seed, and a recorded workload ignores it — N identical
+// replicas would report a bogus zero-width CI, so the grid must not
+// validate.
+func TestValidateRejectsReplicasOverSeedInvariantWorkload(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := dcsim.GenerateTraces(dcsim.Workload{VMs: 6, Groups: 2, Hours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dcsim.WriteTraceDir(dir, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	base := tinyBase()
+	base.Workload.Kind = "trace-dir"
+	base.Workload.Path = dir
+	g := Grid{
+		Base:     base,
+		Axes:     []Axis{{Field: "policy", Values: []any{"bfd"}}},
+		Replicas: 3,
+	}
+	err = g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "ignores the seed") {
+		t.Fatalf("Validate = %v, want rejection of replicas over a recorded workload", err)
+	}
+	// One replica is fine.
+	g.Replicas = 1
+	if err := g.Validate(); err != nil {
+		t.Fatalf("single-replica recorded grid rejected: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package dcsim
+
+import (
+	"fmt"
+
+	"repro/internal/tracedir"
+	"repro/internal/vmmodel"
+	"repro/pkg/dcsim/model"
+)
+
+// WorkloadSource is the workload-backend contract model.WorkloadSource,
+// re-exported so registrants can name it through the façade. Implement it
+// against model types alone and register it with RegisterWorkload to add a
+// workload kind — exactly how the built-in "datacenter", "uncorrelated",
+// and "trace-dir" kinds are wired in.
+type WorkloadSource = model.WorkloadSource
+
+// RegisterWorkload adds a workload backend under a unique kind name; it
+// panics on empty or duplicate names (registration is init-time
+// configuration). The kind becomes selectable as Workload.Kind in
+// scenarios, grids, and the -workload flags, and remote sweep workers
+// advertise it through their capability listing.
+func RegisterWorkload(kind string, src WorkloadSource) { workloadReg.Register(kind, src) }
+
+// WorkloadKinds lists the registered workload kind names, sorted.
+func WorkloadKinds() []string { return workloadReg.Names() }
+
+// LookupWorkload returns the registered workload backend for a kind; the
+// empty kind selects the default "datacenter".
+func LookupWorkload(kind string) (WorkloadSource, error) {
+	return workloadReg.Lookup(kindOrDefault(kind))
+}
+
+// kindOrDefault maps the unset kind to the default generator.
+func kindOrDefault(kind string) string {
+	if kind == "" {
+		return "datacenter"
+	}
+	return kind
+}
+
+// SeedInvariantWorkload reports whether the registered kind's traces
+// ignore Workload.Seed (the model.SeedInvariantSource capability —
+// recorded sources like "trace-dir"). Unknown kinds report false; the
+// registry lookup that rejects them happens elsewhere.
+func SeedInvariantWorkload(kind string) bool {
+	src, err := LookupWorkload(kind)
+	if err != nil {
+		return false
+	}
+	si, ok := src.(model.SeedInvariantSource)
+	return ok && si.SeedInvariant()
+}
+
+// CheckWorkload validates a workload description the way GenerateTraces
+// would — kind lookup plus the backend's own fail-fast check (for
+// file-backed kinds, the manifest against the scenario) — without
+// producing any traces.
+func CheckWorkload(w Workload) error {
+	src, err := LookupWorkload(w.Kind)
+	if err != nil {
+		return err
+	}
+	// Normalize before the backend check so its errors name the kind
+	// that actually handled the description, not "".
+	w.Kind = kindOrDefault(w.Kind)
+	return src.Check(w)
+}
+
+// GenerateTraces produces the demand traces a Workload describes through
+// its registered backend: synthesized deterministically in the workload's
+// seed for the built-in generators, streamed from disk for recorded kinds.
+func GenerateTraces(w Workload) (*Dataset, error) {
+	src, err := LookupWorkload(w.Kind)
+	if err != nil {
+		return nil, err
+	}
+	w.Kind = kindOrDefault(w.Kind)
+	if err := src.Check(w); err != nil {
+		return nil, err
+	}
+	ds, err := src.Traces(w)
+	if err != nil {
+		return nil, err
+	}
+	if ds == nil || len(ds.Fine) == 0 {
+		return nil, fmt.Errorf("dcsim: workload kind %q produced no traces", w.Kind)
+	}
+	if len(ds.Names) != len(ds.Fine) {
+		return nil, fmt.Errorf("dcsim: workload kind %q produced %d names for %d traces",
+			w.Kind, len(ds.Names), len(ds.Fine))
+	}
+	return ds, nil
+}
+
+// VMsFor produces the fine-grained VM population a Workload describes,
+// through the workload-kind registry. RunVMs accepts any VM population,
+// which is the seam ad-hoc trace sources plug into without registering.
+func VMsFor(w Workload) ([]*VM, error) {
+	ds, err := GenerateTraces(w)
+	if err != nil {
+		return nil, err
+	}
+	return vmmodel.FromSeries(ds.Names, ds.Fine), nil
+}
+
+// WriteTraceDir records a dataset's fine traces as a "trace-dir" workload:
+// chunked CSVs of at most vmsPerFile VM columns (0 = one file) plus a
+// manifest.json naming every VM, the interval, and the horizon. A scenario
+// with Workload{Kind: "trace-dir", Path: dir} then streams the recording
+// back — sample-identical, so a recorded sweep reproduces the synthetic
+// run that produced it bit for bit. cmd/tracegen -dir uses exactly this.
+func WriteTraceDir(dir string, ds *Dataset, vmsPerFile int) error {
+	return tracedir.Write(dir, ds, vmsPerFile)
+}

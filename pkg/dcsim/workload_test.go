@@ -1,0 +1,193 @@
+package dcsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/pkg/dcsim/model"
+)
+
+func TestWorkloadKindsListsBuiltins(t *testing.T) {
+	kinds := WorkloadKinds()
+	for _, want := range []string{"datacenter", "uncorrelated", "trace-dir"} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("WorkloadKinds() = %v, missing %q", kinds, want)
+		}
+	}
+}
+
+// TestGenerateTracesErrors: every bad workload description fails loudly,
+// through GenerateTraces and VMsFor alike.
+func TestGenerateTracesErrors(t *testing.T) {
+	dir := t.TempDir() // empty: no manifest
+	cases := []struct {
+		name string
+		w    Workload
+		want string // substring of the error
+	}{
+		{"unknown kind", Workload{Kind: "s3"}, `unknown workload kind "s3"`},
+		{"unknown kind lists known", Workload{Kind: "s3"}, "trace-dir"},
+		{"path on synthetic", Workload{Kind: "datacenter", Path: "/tmp/x"}, "does not read a path"},
+		{"path on default kind", Workload{Path: "/tmp/x"}, "does not read a path"},
+		{"default kind named in errors", Workload{Path: "/tmp/x"}, `"datacenter"`},
+		{"negative vms", Workload{Kind: "datacenter", VMs: -4}, "non-negative"},
+		{"negative hours", Workload{Kind: "uncorrelated", Hours: -1}, "non-negative"},
+		{"trace-dir without path", Workload{Kind: "trace-dir"}, "needs a path"},
+		{"trace-dir missing manifest", Workload{Kind: "trace-dir", Path: dir}, "manifest.json"},
+	}
+	for _, c := range cases {
+		if _, err := GenerateTraces(c.w); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("GenerateTraces(%s): err = %v, want mention of %q", c.name, err, c.want)
+		}
+		if _, err := VMsFor(c.w); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("VMsFor(%s): err = %v, want mention of %q", c.name, err, c.want)
+		}
+		if err := CheckWorkload(c.w); err == nil {
+			t.Errorf("CheckWorkload(%s) accepted a description GenerateTraces rejects", c.name)
+		}
+	}
+}
+
+// TestUnknownWorkloadKindIsTyped: registry misses surface as
+// model.NotRegisteredError, so the distributed-sweep worker classifies a
+// missing workload backend as unknown_component like any other registry
+// mismatch.
+func TestUnknownWorkloadKindIsTyped(t *testing.T) {
+	_, err := GenerateTraces(Workload{Kind: "s3"})
+	var nr *model.NotRegisteredError
+	if !errors.As(err, &nr) || nr.Kind != "workload kind" {
+		t.Fatalf("err = %#v, want *model.NotRegisteredError for a workload kind", err)
+	}
+	sc := New(WithWorkloadKind("s3"))
+	if err := CheckScenario(sc); !errors.As(err, &nr) {
+		t.Fatalf("CheckScenario err = %v, want a typed registry miss", err)
+	}
+	if _, err := Run(context.Background(), sc); !errors.As(err, &nr) {
+		t.Fatalf("Run err = %v, want a typed registry miss", err)
+	}
+}
+
+func TestRegisterWorkloadRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterWorkload did not panic")
+		}
+	}()
+	RegisterWorkload("datacenter", nil)
+}
+
+// TestTraceDirRoundTripRun is the core recorded-workload property: a
+// scenario streaming traces recorded from a synthetic run produces a
+// byte-identical Result at the same seed.
+func TestTraceDirRoundTripRun(t *testing.T) {
+	dir := t.TempDir()
+	synthetic := New(smallOpts()...)
+	ds, err := GenerateTraces(synthetic.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceDir(dir, ds, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	recorded := New(append(smallOpts(), WithWorkloadKind("trace-dir"), WithTracePath(dir))...)
+	if err := CheckScenario(recorded); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := Run(context.Background(), synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("recorded run differs from the synthetic run it was recorded from:\n%s\nvs\n%s",
+			wantJSON, gotJSON)
+	}
+}
+
+// TestTraceDirValidatedAgainstScenario: the manifest's shape gates the
+// scenario before any run.
+func TestTraceDirValidatedAgainstScenario(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := GenerateTraces(Workload{VMs: 6, Groups: 2, Hours: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceDir(dir, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong VM count: the default scenario wants 40 VMs.
+	sc := New(WithWorkloadKind("trace-dir"), WithTracePath(dir))
+	if err := CheckScenario(sc); err == nil || !strings.Contains(err.Error(), "records 6 VMs") {
+		t.Errorf("CheckScenario = %v, want a VM-count mismatch", err)
+	}
+	if _, err := Run(context.Background(), sc); err == nil {
+		t.Error("Run accepted a scenario whose workload mismatches the recording")
+	}
+	// Matching shape passes.
+	sc = New(WithVMs(6), WithGroups(2), WithHours(2), WithMaxServers(6),
+		WithWorkloadKind("trace-dir"), WithTracePath(dir))
+	if err := CheckScenario(sc); err != nil {
+		t.Errorf("matching scenario rejected: %v", err)
+	}
+}
+
+// TestNegativeSeedsAreDistinct pins the generator half of the sweep
+// seed-aliasing fix: negative seeds are real seeds, not aliases of the
+// default.
+func TestNegativeSeedsAreDistinct(t *testing.T) {
+	w := Workload{VMs: 4, Groups: 2, Hours: 1}
+	a, err := GenerateTraces(withSeed(w, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTraces(withSeed(w, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fine[0].At(0) == b.Fine[0].At(0) && a.Fine[0].At(1) == b.Fine[0].At(1) &&
+		a.Fine[1].At(0) == b.Fine[1].At(0) {
+		t.Fatal("seed -1 produced the same traces as seed 1")
+	}
+}
+
+func withSeed(w Workload, seed int64) Workload {
+	w.Seed = seed
+	return w
+}
+
+// TestSeedInvariantWorkload: recorded kinds report seed invariance, the
+// synthetic generators do not, and unknown kinds are simply false (the
+// registry rejection happens elsewhere).
+func TestSeedInvariantWorkload(t *testing.T) {
+	if !SeedInvariantWorkload("trace-dir") {
+		t.Error("trace-dir should be seed-invariant")
+	}
+	for _, kind := range []string{"datacenter", "uncorrelated", "", "nope"} {
+		if SeedInvariantWorkload(kind) {
+			t.Errorf("kind %q reported seed-invariant", kind)
+		}
+	}
+}

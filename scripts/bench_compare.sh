@@ -1,32 +1,37 @@
 #!/bin/sh
-# bench_compare.sh — guard the sweep perf trajectory: compare the freshly
-# recorded BENCH_sweep.json against the baseline committed at HEAD and fail
-# when wall time regresses more than BENCH_REGRESS_PCT percent (default
-# 100, i.e. a 2x slowdown). The delta is printed either way, so CI logs
-# show the trajectory even when the gate passes.
+# bench_compare.sh — guard the perf trajectory: compare the freshly
+# recorded BENCH_sweep.json AND BENCH_alloc.json against the baselines
+# committed at HEAD, and fail when wall time regresses more than
+# BENCH_REGRESS_PCT percent (default 100, i.e. a 2x slowdown). Deltas are
+# printed either way, so CI logs show the trajectory even when the gates
+# pass. Before this script also gated the allocator record, an allocator
+# regression only showed up as a silently drifting artifact.
 #
-# The comparison is skipped (exit 0, with a reason) when there is no
-# committed baseline, the baseline covers a different grid/run count, or
-# the file is unreadable — a changed benchmark is a new baseline, not a
-# regression. CI sets BENCH_REGRESS_PCT higher to absorb the variance
-# between the committing machine and the runner.
+# A comparison is skipped (with a reason) when there is no committed
+# baseline, the baseline covers a different grid/run count or benchmark
+# shape, or a file is unreadable — a changed benchmark is a new baseline,
+# not a regression. CI sets BENCH_REGRESS_PCT higher to absorb the
+# variance between the committing machine and the runner.
 set -eu
 cd "$(dirname "$0")/.."
 
 threshold="${BENCH_REGRESS_PCT:-100}"
+status=0
 
-if [ ! -f BENCH_sweep.json ]; then
-	echo "bench_compare: BENCH_sweep.json missing; run 'make bench-sweep' first" >&2
-	exit 1
-fi
-basefile=$(mktemp)
-trap 'rm -f "$basefile"' EXIT
-if ! git show HEAD:BENCH_sweep.json >"$basefile" 2>/dev/null; then
-	echo "bench_compare: no committed BENCH_sweep.json baseline at HEAD; skipping"
-	exit 0
-fi
-
-python3 - "$basefile" BENCH_sweep.json "$threshold" <<'EOF'
+compare() {
+	record="$1"
+	maketarget="$2"
+	if [ ! -f "$record" ]; then
+		echo "bench_compare: $record missing; run 'make $maketarget' first" >&2
+		return 1
+	fi
+	basefile=$(mktemp)
+	if ! git show "HEAD:$record" >"$basefile" 2>/dev/null; then
+		echo "bench_compare: no committed $record baseline at HEAD; skipping"
+		rm -f "$basefile"
+		return 0
+	fi
+	python3 - "$basefile" "$record" "$threshold" <<'EOF'
 import json, sys
 
 try:
@@ -37,24 +42,67 @@ except (ValueError, OSError) as e:
     sys.exit(0)
 
 threshold = float(sys.argv[3])
-for key in ("grid", "runs"):
-    if base.get(key) != cur.get(key):
-        print(f"bench_compare: baseline {key}={base.get(key)!r} vs current "
-              f"{key}={cur.get(key)!r}; not comparable, skipping")
+
+def gate(label, b, c):
+    delta_pct = (c - b) / b * 100.0
+    print(f"bench_compare: {label}: baseline {b:.4g} -> current {c:.4g} "
+          f"({delta_pct:+.1f}%, threshold +{threshold:.0f}%)")
+    if delta_pct > threshold:
+        print(f"bench_compare: FAIL — {label} regressed "
+              f"{delta_pct:.1f}% > {threshold:.0f}%", file=sys.stderr)
+        return 1
+    return 0
+
+failures = 0
+if "rows" in cur:
+    # BENCH_alloc.json: gate the summed ns/op over the (series, vms) rows
+    # present in both records — individual micro-rows at -benchtime 2x
+    # are too noisy to gate one by one (run-to-run swings near 2x have
+    # been observed on the small rows), but the sum is dominated by the
+    # big fills, where a real allocator regression shows. Per-row deltas
+    # are printed for the logs; rows only one side has are a changed
+    # benchmark shape and drop out of the sum on both sides.
+    base_rows = {(r["series"], r["vms"]): r["ns_per_op"]
+                 for r in base.get("rows", [])}
+    base_sum = cur_sum = 0.0
+    for r in cur["rows"]:
+        key = (r["series"], r["vms"])
+        b, c = base_rows.get(key), r["ns_per_op"]
+        if b is None:
+            print(f"bench_compare: no baseline row for {key}; skipping it")
+            continue
+        if b <= 0 or c <= 0:
+            continue
+        delta_pct = (c - b) / b * 100.0
+        print(f"bench_compare: alloc {key[0]}/vms={key[1]}: "
+              f"baseline {b:.4g} -> current {c:.4g} ({delta_pct:+.1f}%, informational)")
+        base_sum += b
+        cur_sum += c
+    if base_sum > 0 and cur_sum > 0:
+        failures += gate("alloc total wall time (summed ns/op)", base_sum, cur_sum)
+    else:
+        print("bench_compare: no comparable allocator rows; skipping")
+else:
+    # BENCH_sweep.json: one wall-time record for one grid.
+    for key in ("grid", "runs"):
+        if base.get(key) != cur.get(key):
+            print(f"bench_compare: baseline {key}={base.get(key)!r} vs current "
+                  f"{key}={cur.get(key)!r}; not comparable, skipping")
+            sys.exit(0)
+    b, c = base.get("seconds"), cur.get("seconds")
+    if not b or not c or b <= 0 or c <= 0:
+        print("bench_compare: missing or non-positive seconds; skipping")
         sys.exit(0)
+    failures += gate(f"sweep grid {cur['grid']!r} ({cur['runs']} runs) seconds", b, c)
 
-b, c = base.get("seconds"), cur.get("seconds")
-if not b or not c or b <= 0 or c <= 0:
-    print("bench_compare: missing or non-positive seconds; skipping")
-    sys.exit(0)
-
-delta_pct = (c - b) / b * 100.0
-print(f"bench_compare: grid {cur['grid']!r} ({cur['runs']} runs): "
-      f"baseline {b:.3f}s -> current {c:.3f}s "
-      f"({delta_pct:+.1f}%, threshold +{threshold:.0f}%)")
-if delta_pct > threshold:
-    print(f"bench_compare: FAIL — sweep wall time regressed "
-          f"{delta_pct:.1f}% > {threshold:.0f}%", file=sys.stderr)
-    sys.exit(1)
-print("bench_compare: OK")
+sys.exit(1 if failures else 0)
 EOF
+	rc=$?
+	rm -f "$basefile"
+	return $rc
+}
+
+compare BENCH_sweep.json bench-sweep || status=1
+compare BENCH_alloc.json bench-alloc || status=1
+[ "$status" -eq 0 ] && echo "bench_compare: OK"
+exit $status
