@@ -6,9 +6,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: ci lint fmt vet staticcheck staticcheck-version build test race \
-	bench bench-sweep bench-alloc bench-compare leakcheck
+	bench bench-sweep bench-alloc bench-compare leakcheck smoke-service
 
-ci: lint build test race bench-compare
+ci: lint build test race smoke-service bench-compare
 
 # lint is the static gate CI's lint job runs: formatting, go vet,
 # staticcheck, and the public-API leak check.
@@ -61,6 +61,12 @@ bench:
 # pkg/dcsim/model, so out-of-tree modules can implement every contract.
 leakcheck:
 	./scripts/leakcheck.sh
+
+# smoke-service drives the real `dcsim serve` binary end to end on a
+# loopback port: submit a grid over HTTP, poll to completion, assert the
+# /metrics job counter moved, and require a clean drained exit on SIGINT.
+smoke-service:
+	./scripts/service_smoke.sh
 
 # bench-alloc records the allocator scaling trajectory (exact Fig.-2
 # semantics up to 2k VMs, blocked evaluation at 1k/2k/10k) in

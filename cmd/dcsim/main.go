@@ -12,6 +12,11 @@
 // -listen addr" process — with byte-identical aggregates either way; the
 // worker subcommand serves health, capability listing, and cell execution
 // (see pkg/dcsim/sweep/remote).
+//
+// The serve subcommand ("dcsim serve -listen addr") runs the long-lived
+// simulation service: a job queue accepting sweep grids over HTTP,
+// Server-Sent-Events progress streaming, and an OpenMetrics exporter (see
+// cmd/dcsim/serve.go and pkg/dcsim/service).
 package main
 
 import (
@@ -35,6 +40,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
 		workerMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
 		return
 	}
 	def := dcsim.DefaultScenario()

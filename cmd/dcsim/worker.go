@@ -26,6 +26,7 @@ func workerMain(args []string) {
 	fs := flag.NewFlagSet("dcsim worker", flag.ExitOnError)
 	var (
 		listen = fs.String("listen", ":8070", "address to serve the worker protocol on")
+		drain  = fs.Duration("drain", 10*time.Second, "graceful drain window for in-flight runs after SIGINT")
 		quiet  = fs.Bool("quiet", false, "do not log per-run lines")
 	)
 	fs.Parse(args)
@@ -57,9 +58,9 @@ func workerMain(args []string) {
 		}
 	case <-ctx.Done():
 		// Graceful drain: in-flight runs keep their request contexts for
-		// a bounded window, then the listener is torn down hard.
-		log.Print("interrupt: draining in-flight runs")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// the -drain window, then the listener is torn down hard.
+		log.Printf("interrupt: draining %d in-flight run(s) (window %s)", srv.Inflight(), *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "dcsim: worker shutdown: %v\n", err)

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/pkg/dcsim/sweep"
+)
+
+// Server exposes a Manager as the simulation-as-a-service HTTP API.
+// Construct with NewServer; the zero value is not usable.
+//
+// Endpoints:
+//
+//	GET    /healthz            liveness, {"status":"ok"}
+//	GET    /metrics            OpenMetrics text (see WriteOpenMetrics)
+//	POST   /jobs               submit a sweep grid JSON; 202 + job Status
+//	GET    /jobs               list job Statuses in submission order
+//	GET    /jobs/{id}          job Status, with "result" embedded once
+//	                           one exists
+//	GET    /jobs/{id}/result   the exact `dcsim sweep` report bytes
+//	GET    /jobs/{id}/events   Server-Sent Events: state, progress, and
+//	                           a final done/failed/cancelled event
+//	DELETE /jobs/{id}          cancel; idempotent on terminal jobs
+//
+// Failures use the envelope {"error":{"code":..., "message":...}} with
+// codes bad_request, bad_grid, queue_full, draining, not_found, and
+// no_result.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP front end over a Manager.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// maxGridBytes bounds a POST /jobs body; grids are small JSON documents.
+const maxGridBytes = 8 << 20
+
+// errorBody is the JSON failure envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// The write goes straight to the peer; a failure leaves nothing
+	// useful to do.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+	_ = s.m.WriteOpenMetrics(w)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxGridBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "read body: "+err.Error())
+		return
+	}
+	g, err := sweep.DecodeGrid(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	st, err := s.m.Submit(g)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "queue_full", err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
+		return
+	default:
+		// Grid validation: the submission itself is malformed.
+		writeError(w, http.StatusUnprocessableEntity, "bad_grid", err.Error())
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.m.List()})
+}
+
+// jobResponse is a Status with the sweep result embedded once one exists
+// (done jobs always; cancelled jobs that completed cells carry their
+// partial result, marked by result.complete = false).
+type jobResponse struct {
+	Status
+	Result *sweep.Result `json:"result,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.m.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	resp := jobResponse{Status: st}
+	if res, _, err := s.m.Result(id); err == nil {
+		resp.Result = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	_, data, err := s.m.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusConflict, "no_result", err.Error())
+		return
+	}
+	// The exact bytes `dcsim sweep` would have written for this grid —
+	// the determinism contract, servable for byte comparison.
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sub, err := s.m.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	_ = rc.Flush()
+	for {
+		ev, ok := sub.Next(r.Context())
+		if !ok {
+			return
+		}
+		data, err := json.Marshal(ev.Data)
+		if err != nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return // client gone
+		}
+		_ = rc.Flush()
+	}
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the Manager's instrumentation: job lifecycle counters, queue
+// and in-flight gauges, and duration histograms, exposed as OpenMetrics
+// text by WriteOpenMetrics. Everything is std-lib: counters and gauges
+// are atomics, histograms a small mutex-guarded bucket array.
+type metrics struct {
+	jobsSubmitted atomic.Uint64
+	jobsCompleted atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCancelled atomic.Uint64
+	cellsRun      atomic.Uint64 // grid cells fully aggregated
+	runs          atomic.Uint64 // cell-replica simulation runs
+
+	queueDepth   atomic.Int64
+	jobsInFlight atomic.Int64
+
+	jobDur  *histogram
+	cellDur *histogram
+}
+
+// durationBuckets are the histogram upper bounds in seconds, spanning
+// millisecond cells to ten-minute jobs; +Inf is implicit.
+var durationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300, 600,
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		jobDur:  newHistogram(durationBuckets),
+		cellDur: newHistogram(durationBuckets),
+	}
+}
+
+// histogram is a fixed-bucket histogram in the Prometheus style:
+// cumulative bucket counts by upper bound, plus count and sum.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []uint64  // len(bounds)+1, per-bucket (non-cumulative)
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// snapshot returns cumulative bucket counts, total count, and sum.
+func (h *histogram) snapshot() (cum []uint64, n uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.n, h.sum
+}
+
+// WriteOpenMetrics writes the service metrics in OpenMetrics text
+// exposition format (the `GET /metrics` body), terminated by the required
+// "# EOF" line. Serve it with ContentTypeOpenMetrics.
+func (m *Manager) WriteOpenMetrics(w io.Writer) error {
+	mm := m.metrics
+	ew := &errWriter{w: w}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(ew, "# TYPE %s counter\n# HELP %s %s\n%s_total %d\n", name, name, help, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(ew, "# TYPE %s gauge\n# HELP %s %s\n%s %d\n", name, name, help, name, v)
+	}
+	counter("dcsim_jobs_submitted", "Sweep jobs accepted by the service.", mm.jobsSubmitted.Load())
+	counter("dcsim_jobs_completed", "Jobs that ran to a complete result.", mm.jobsCompleted.Load())
+	counter("dcsim_jobs_failed", "Jobs whose sweep failed.", mm.jobsFailed.Load())
+	counter("dcsim_jobs_cancelled", "Jobs cancelled by request or drain.", mm.jobsCancelled.Load())
+	counter("dcsim_cells_run", "Grid cells fully aggregated across all jobs.", mm.cellsRun.Load())
+	counter("dcsim_runs", "Cell-replica simulation runs completed across all jobs.", mm.runs.Load())
+	gauge("dcsim_queue_depth", "Jobs waiting for a run slot.", mm.queueDepth.Load())
+	gauge("dcsim_jobs_in_flight", "Jobs currently running.", mm.jobsInFlight.Load())
+	writeHistogram(ew, "dcsim_job_duration_seconds", "Wall time of finished jobs.", mm.jobDur)
+	writeHistogram(ew, "dcsim_cell_duration_seconds", "Wall time of executed cell-replica runs.", mm.cellDur)
+	fmt.Fprint(ew, "# EOF\n")
+	return ew.err
+}
+
+// ContentTypeOpenMetrics is the media type of the OpenMetrics text
+// exposition format, the Content-Type `GET /metrics` responses carry.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// writeHistogram renders one histogram family: cumulative buckets with
+// "le" labels, then the count and sum samples.
+func writeHistogram(w io.Writer, name, help string, h *histogram) {
+	cum, n, sum := h.snapshot()
+	fmt.Fprintf(w, "# TYPE %s histogram\n# UNIT %s seconds\n# HELP %s %s\n", name, name, name, help)
+	for i, bound := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatBound(bound), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+	fmt.Fprintf(w, "%s_count %d\n", name, n)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatBound(sum))
+}
+
+// formatBound renders a float the OpenMetrics way: shortest round-trip
+// decimal.
+func formatBound(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// errWriter remembers the first write error so the exposition loop stays
+// branch-free.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/pkg/dcsim"
 )
@@ -23,6 +24,35 @@ type ObserverFunc func(CellResult)
 
 // OnCell implements Observer.
 func (f ObserverFunc) OnCell(c CellResult) { f(c) }
+
+// Progress is one run-level progress event: which cell-replica just
+// finished, how long it took on the wall clock, and how far the sweep has
+// come. The engine measures Elapsed around the executor call, so the event
+// is identical in shape whether the run executed in-process or on a remote
+// worker; progress is observation only and never perturbs the
+// deterministic aggregates.
+type Progress struct {
+	// CellIndex and CellName identify the grid cell of the finished run.
+	CellIndex int
+	CellName  string
+	// Replica is the finished run's seed-replica index within its cell.
+	Replica int
+	// Elapsed is the run's wall time — the duration of the ExecuteCell
+	// call, queueing and transport included for remote executors.
+	Elapsed time.Duration
+	// CellDone reports that this run was the cell's last outstanding
+	// replica, completing its aggregate. CellElapsed is then the cell's
+	// wall time: from its first replica starting to its last finishing.
+	CellDone    bool
+	CellElapsed time.Duration
+	// RunsDone / RunsTotal and CellsDone / CellsTotal count completed
+	// runs (cell-replicas) and fully aggregated cells, RunsDone
+	// including this event's run.
+	RunsDone, RunsTotal   int
+	CellsDone, CellsTotal int
+	// Replicas is the grid's replica count (runs per cell).
+	Replicas int
+}
 
 // Options tunes the engine.
 type Options struct {
@@ -42,6 +72,11 @@ type Options struct {
 	// and must be safe for concurrent use. It only applies to the
 	// default local executor: a custom Executor owns its runs.
 	RunObservers func(cell Cell, replica int) []dcsim.Observer
+	// Progress, when set, receives one event per completed run on the
+	// collector goroutine (one at a time, like Observers). It fires for
+	// every executor — local, remote, or custom — because the engine
+	// itself times the ExecuteCell calls.
+	Progress func(Progress)
 }
 
 // executorOrDefault resolves the executor.
@@ -93,6 +128,8 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 		cell, replica int
 		res           *dcsim.Result
 		err           error
+		start         time.Time
+		elapsed       time.Duration
 	}
 	jobs := make([]job, 0, len(cells)*g.Replicas)
 	for c := range cells {
@@ -124,8 +161,10 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 					continue
 				}
 				run := CellRun{Cell: cells[j.cell], Replica: j.replica, SeedStride: g.SeedStride}
+				start := time.Now()
 				res, err := exec.ExecuteCell(runCtx, run)
-				outCh <- outcome{cell: j.cell, replica: j.replica, res: res, err: err}
+				outCh <- outcome{cell: j.cell, replica: j.replica, res: res, err: err,
+					start: start, elapsed: time.Since(start)}
 			}
 		}()
 	}
@@ -146,11 +185,17 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 	// so folding needs no locks and replica order is under our control.
 	perCell := make([][]*dcsim.Result, len(cells))
 	remaining := make([]int, len(cells))
+	var cellStart, cellEnd []time.Time
+	if opts.Progress != nil {
+		cellStart = make([]time.Time, len(cells))
+		cellEnd = make([]time.Time, len(cells))
+	}
 	for i := range perCell {
 		perCell[i] = make([]*dcsim.Result, g.Replicas)
 		remaining[i] = g.Replicas
 	}
 	var firstErr error
+	runsDone := 0
 	done := make([]CellResult, 0, len(cells))
 	for n := 0; n < len(jobs); n++ {
 		o := <-outCh
@@ -166,6 +211,15 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 		}
 		perCell[o.cell][o.replica] = o.res
 		remaining[o.cell]--
+		runsDone++
+		if opts.Progress != nil {
+			if cellStart[o.cell].IsZero() || o.start.Before(cellStart[o.cell]) {
+				cellStart[o.cell] = o.start
+			}
+			if end := o.start.Add(o.elapsed); end.After(cellEnd[o.cell]) {
+				cellEnd[o.cell] = end
+			}
+		}
 		if remaining[o.cell] == 0 {
 			cr := aggregate(cells[o.cell], perCell[o.cell])
 			done = append(done, cr)
@@ -173,6 +227,22 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 				obs.OnCell(cr)
 			}
 			perCell[o.cell] = nil // free the raw runs
+		}
+		if opts.Progress != nil {
+			p := Progress{
+				CellIndex: o.cell,
+				CellName:  cells[o.cell].Name(),
+				Replica:   o.replica,
+				Elapsed:   o.elapsed,
+				RunsDone:  runsDone, RunsTotal: len(jobs),
+				CellsDone: len(done), CellsTotal: len(cells),
+				Replicas: g.Replicas,
+			}
+			if remaining[o.cell] == 0 {
+				p.CellDone = true
+				p.CellElapsed = cellEnd[o.cell].Sub(cellStart[o.cell])
+			}
+			opts.Progress(p)
 		}
 	}
 	wg.Wait()

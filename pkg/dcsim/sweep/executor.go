@@ -35,6 +35,11 @@ func (cr CellRun) Scenario() dcsim.Scenario {
 // ExecuteCell from every pool worker at once. An implementation reports
 // cancellation by returning an error wrapping ctx.Err(); any other error
 // aborts the sweep (the engine keeps the cells already completed).
+//
+// The engine times every ExecuteCell call on the wall clock and reports
+// the duration through Options.Progress, so run- and cell-level progress
+// events carry identical semantics for every executor — an implementation
+// need not (and cannot) instrument itself.
 type Executor interface {
 	ExecuteCell(ctx context.Context, run CellRun) (*dcsim.Result, error)
 }

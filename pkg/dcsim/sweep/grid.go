@@ -125,6 +125,12 @@ func (g Grid) withDefaults() Grid {
 	return g
 }
 
+// Normalized returns the grid with its zero-valued Replicas and
+// SeedStride filled in — the defaults Run applies and DecodeGrid bakes
+// into decoded grids — so grids built in code and grids read from JSON
+// compare (and marshal) identically.
+func (g Grid) Normalized() Grid { return g.withDefaults() }
+
 // Validate reports structural problems: empty axes, bad replica counts,
 // duplicate fields, or a value no scenario field accepts. Every expanded
 // cell scenario is checked the way Run would check it (structure, registry

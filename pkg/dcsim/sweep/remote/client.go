@@ -312,16 +312,23 @@ func snippet(b []byte) string {
 	return s
 }
 
+// FetchHealth retrieves one worker's /healthz payload: liveness plus the
+// in-flight run count and capabilities fingerprint (fields old workers
+// omit; they decode to zero values).
+func FetchHealth(ctx context.Context, client *http.Client, baseURL string) (HealthInfo, error) {
+	var info HealthInfo
+	err := getJSON(ctx, client, baseURL+healthPath, &info)
+	return info, err
+}
+
 // Health checks one worker's liveness endpoint.
 func Health(ctx context.Context, client *http.Client, baseURL string) error {
-	var status struct {
-		Status string `json:"status"`
-	}
-	if err := getJSON(ctx, client, baseURL+healthPath, &status); err != nil {
+	info, err := FetchHealth(ctx, client, baseURL)
+	if err != nil {
 		return err
 	}
-	if status.Status != "ok" {
-		return fmt.Errorf("remote: worker %s health = %q", baseURL, status.Status)
+	if info.Status != "ok" {
+		return fmt.Errorf("remote: worker %s health = %q", baseURL, info.Status)
 	}
 	return nil
 }

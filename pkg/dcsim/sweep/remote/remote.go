@@ -28,8 +28,12 @@
 package remote
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"sort"
 
 	"repro/pkg/dcsim"
 )
@@ -83,6 +87,38 @@ type Capabilities struct {
 	Predictors []string `json:"predictors"`
 	Servers    []string `json:"servers"`
 	Workloads  []string `json:"workloads"`
+}
+
+// Fingerprint is a stable hash of the registry listing: the same set of
+// registered names yields the same string in every process, regardless of
+// registration order. Workers advertise it in /healthz, so a client can
+// spot registry drift across a fleet — two workers with different
+// fingerprints cannot both serve every grid — from the health probe
+// alone, without fetching and diffing full capability listings.
+func (c Capabilities) Fingerprint() string {
+	h := sha256.New()
+	for _, group := range [][]string{c.Policies, c.Governors, c.Predictors, c.Servers, c.Workloads} {
+		names := append([]string(nil), group...)
+		sort.Strings(names)
+		for _, n := range names {
+			io.WriteString(h, n)
+			h.Write([]byte{0})
+		}
+		// Group separator: a policy named x must not collide with a
+		// governor named x.
+		h.Write([]byte{1})
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// HealthInfo is the /healthz payload: liveness, the worker's current
+// in-flight run count, and its capabilities fingerprint. Status "ok" is
+// the original (and still primary) health contract; the other fields let
+// clients detect load and registry drift without a second round trip.
+type HealthInfo struct {
+	Status       string `json:"status"`
+	Inflight     int64  `json:"inflight"`
+	Capabilities string `json:"capabilities"`
 }
 
 // LocalCapabilities lists the component names registered in this process.

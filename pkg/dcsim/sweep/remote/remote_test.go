@@ -616,3 +616,46 @@ func TestUnknownWorkloadKindTypedError(t *testing.T) {
 		t.Fatalf("message %q does not name the missing workload kind", typed.Message)
 	}
 }
+
+// TestHealthInfo: /healthz carries the in-flight count and the registry
+// fingerprint alongside the original status field.
+func TestHealthInfo(t *testing.T) {
+	urls := cluster(t, 1, nil)
+	hi, err := FetchHealth(context.Background(), http.DefaultClient, urls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Status != "ok" {
+		t.Fatalf("status = %q", hi.Status)
+	}
+	if hi.Inflight != 0 {
+		t.Fatalf("idle worker inflight = %d", hi.Inflight)
+	}
+	if want := LocalCapabilities().Fingerprint(); hi.Capabilities != want {
+		t.Fatalf("capabilities fingerprint = %q, want %q", hi.Capabilities, want)
+	}
+}
+
+// TestCapabilitiesFingerprintStable pins the fingerprint semantics: order
+// independent within a group, sensitive to membership, and a name in one
+// group never collides with the same name in another.
+func TestCapabilitiesFingerprintStable(t *testing.T) {
+	a := Capabilities{Policies: []string{"p1", "p2"}, Governors: []string{"g1"}}
+	b := Capabilities{Policies: []string{"p2", "p1"}, Governors: []string{"g1"}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on registration order")
+	}
+	if !strings.HasPrefix(a.Fingerprint(), "sha256:") {
+		t.Fatalf("fingerprint %q lacks sha256: prefix", a.Fingerprint())
+	}
+	c := Capabilities{Policies: []string{"p1"}, Governors: []string{"g1"}}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint ignores membership")
+	}
+	// The same name in different groups must hash differently.
+	d := Capabilities{Policies: []string{"x"}}
+	e := Capabilities{Governors: []string{"x"}}
+	if d.Fingerprint() == e.Fingerprint() {
+		t.Fatal("fingerprint collides across groups")
+	}
+}

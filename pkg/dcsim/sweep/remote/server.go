@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sync/atomic"
 
 	"repro/pkg/dcsim"
 	"repro/pkg/dcsim/model"
@@ -31,11 +32,22 @@ const statusClientClosedRequest = 499
 // The run executes under the request context: when the client disconnects
 // or cancels, the simulation stops between samples and the response is
 // CodeCancelled.
+//
+// /healthz answers a HealthInfo: {"status":"ok"} for compatibility with
+// older clients, plus the current in-flight run count and the worker's
+// capabilities fingerprint (see Capabilities.Fingerprint).
 type Server struct {
 	// Logf, when set, receives one line per handled run (and per typed
 	// failure). Nil means silent.
 	Logf func(format string, args ...any)
+
+	// inflight counts /run requests currently executing.
+	inflight atomic.Int64
 }
+
+// Inflight is the number of runs executing right now — what a graceful
+// drain is waiting on.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
 
 // logf logs through s.Logf when set.
 func (s *Server) logf(format string, args ...any) {
@@ -52,7 +64,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			methodNotAllowed(w, http.MethodGet)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, HealthInfo{
+			Status:       "ok",
+			Inflight:     s.inflight.Load(),
+			Capabilities: LocalCapabilities().Fingerprint(),
+		})
 	case capabilitiesPath:
 		if r.Method != http.MethodGet {
 			methodNotAllowed(w, http.MethodGet)
@@ -73,6 +89,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // handleRun decodes one CellRun, validates it against this process's
 // registries, and executes it under the request context.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var run sweep.CellRun

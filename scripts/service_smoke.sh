@@ -1,0 +1,82 @@
+#!/bin/sh
+# service_smoke.sh — end-to-end smoke of "dcsim serve": start the service
+# on a loopback port, submit the quick-threshold grid over HTTP, poll the
+# job to completion, scrape /metrics and assert the job counter moved,
+# then SIGINT the server and require a clean (drained) exit 0.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+go build -o "$out/dcsim" ./cmd/dcsim
+
+port=18080
+"$out/dcsim" serve -listen "127.0.0.1:$port" -quiet &
+pid=$!
+base="http://127.0.0.1:$port"
+
+# Wait for the listener.
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "service_smoke: serve never became healthy" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+
+# Submit the grid and extract the job ID from the 202 Status body.
+submit=$(curl -fsS -X POST --data-binary @examples/grids/quick-threshold.json \
+	-H 'Content-Type: application/json' "$base/jobs")
+id=$(printf '%s' "$submit" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$id" ]; then
+	echo "service_smoke: no job id in submit response: $submit" >&2
+	exit 1
+fi
+echo "service_smoke: submitted $id"
+
+# Poll to a terminal state; only "done" passes.
+i=0
+while :; do
+	status=$(curl -fsS "$base/jobs/$id")
+	case "$status" in
+	*'"state":"done"'*) break ;;
+	*'"state":"failed"'* | *'"state":"cancelled"'*)
+		echo "service_smoke: job ended badly: $status" >&2
+		exit 1
+		;;
+	esac
+	i=$((i + 1))
+	if [ "$i" -gt 150 ]; then
+		echo "service_smoke: job never finished: $status" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+echo "service_smoke: $id done"
+
+# The exporter must report exactly the one completed job, and the
+# exposition must be terminated.
+metrics=$(curl -fsS "$base/metrics")
+printf '%s\n' "$metrics" | grep -q '^dcsim_jobs_completed_total 1$' || {
+	echo "service_smoke: dcsim_jobs_completed_total != 1" >&2
+	printf '%s\n' "$metrics" | grep '^dcsim_jobs' >&2 || true
+	exit 1
+}
+printf '%s\n' "$metrics" | grep -q '^# EOF$' || {
+	echo "service_smoke: metrics exposition not terminated with # EOF" >&2
+	exit 1
+}
+echo "service_smoke: metrics ok"
+
+# Graceful shutdown: SIGINT must drain and exit 0.
+kill -INT "$pid"
+if wait "$pid"; then
+	pid=""
+	echo "service_smoke: clean drain, exit 0"
+else
+	echo "service_smoke: serve exited non-zero after SIGINT" >&2
+	exit 1
+fi
