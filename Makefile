@@ -6,9 +6,10 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: ci lint fmt vet staticcheck staticcheck-version build test race \
-	bench bench-sweep bench-alloc bench-compare leakcheck smoke-service
+	bench bench-sweep bench-alloc bench-compare leakcheck smoke-service \
+	smoke-fleet
 
-ci: lint build test race smoke-service bench-compare
+ci: lint build test race smoke-service smoke-fleet bench-compare
 
 # lint is the static gate CI's lint job runs: formatting, go vet,
 # staticcheck, and the public-API leak check.
@@ -67,6 +68,13 @@ leakcheck:
 # /metrics job counter moved, and require a clean drained exit on SIGINT.
 smoke-service:
 	./scripts/service_smoke.sh
+
+# smoke-fleet drives the elastic fleet end to end: `dcsim serve -fleet`
+# plus three registered workers, one killed -9 mid-job with a replacement
+# joining, byte-identical completion against a local sweep, a positive
+# dcsim_fleet_runs_stolen_total, and clean SIGINT exits all around.
+smoke-fleet:
+	./scripts/fleet_smoke.sh
 
 # bench-alloc records the allocator scaling trajectory (exact Fig.-2
 # semantics up to 2k VMs, blocked evaluation at 1k/2k/10k) in

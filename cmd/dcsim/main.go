@@ -11,7 +11,11 @@
 // grid fans out to HTTP workers instead — each one a "dcsim worker
 // -listen addr" process — with byte-identical aggregates either way; the
 // worker subcommand serves health, capability listing, and cell execution
-// (see pkg/dcsim/sweep/remote).
+// (see pkg/dcsim/sweep/remote). With -fleet the worker set is elastic:
+// workers join with "dcsim worker -register", heartbeat, and may come and
+// go mid-sweep — joiners absorb queued runs, the runs of dead workers are
+// stolen back and re-executed — still with byte-identical aggregates (see
+// pkg/dcsim/sweep/fleet).
 //
 // The serve subcommand ("dcsim serve -listen addr") runs the long-lived
 // simulation service: a job queue accepting sweep grids over HTTP,

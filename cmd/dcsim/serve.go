@@ -13,16 +13,24 @@ import (
 	"time"
 
 	"repro/pkg/dcsim/service"
+	"repro/pkg/dcsim/sweep/fleet"
 	"repro/pkg/dcsim/sweep/remote"
 )
 
 // serveMain implements "dcsim serve": the simulation-as-a-service front
 // end. It accepts sweep-grid jobs over HTTP (POST /jobs), runs them
 // through a bounded queue on the executor seam — in-process by default,
-// fanned out to "dcsim worker" fleets with -remote, or both — streams
-// per-cell progress as Server-Sent Events (GET /jobs/{id}/events), and
-// exposes OpenMetrics on GET /metrics. A job's result is byte-identical
-// to "dcsim sweep" on the same grid.
+// fanned out to a static "dcsim worker" list with -remote, to an elastic
+// fleet with -fleet, or mixed with -local — streams per-cell progress as
+// Server-Sent Events (GET /jobs/{id}/events), and exposes OpenMetrics on
+// GET /metrics. A job's result is byte-identical to "dcsim sweep" on the
+// same grid.
+//
+// With -fleet the service is also the fleet coordinator: workers started
+// with "dcsim worker -register http://this-host:port" join on the same
+// listener (POST /fleet/register), heartbeat, and absorb queued runs;
+// workers dying mid-job have their runs stolen back and re-executed, and
+// /metrics grows the dcsim_fleet_* families.
 //
 // SIGINT drains gracefully: submissions are rejected, queued jobs report
 // cancelled, running jobs get the -drain window to finish, and the
@@ -30,26 +38,37 @@ import (
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("dcsim serve", flag.ExitOnError)
 	var (
-		listen   = fs.String("listen", ":8080", "address to serve the job API on")
-		queueCap = fs.Int("queue", 16, "max jobs waiting for a run slot (submissions beyond it get 503 queue_full)")
-		jobs     = fs.Int("jobs", 1, "jobs running concurrently (each fans its cells out over -workers)")
-		workers  = fs.Int("workers", 0, "concurrent runs per job (default GOMAXPROCS, or the remote capacity with -remote)")
-		remotes  = fs.String("remote", "", "comma-separated worker base URLs (\"dcsim worker\" instances) to fan cells out to")
-		local    = fs.Int("local", 0, "with -remote: also run up to this many cells in-process (mixed mode)")
-		inflight = fs.Int("inflight", 4, "with -remote: max in-flight cells per worker")
-		nocheck  = fs.Bool("no-preflight", false, "with -remote: skip the worker health preflight at startup")
-		drain    = fs.Duration("drain", 30*time.Second, "graceful drain window for running jobs after SIGINT")
-		quiet    = fs.Bool("quiet", false, "do not log per-job lines")
+		listen    = fs.String("listen", ":8080", "address to serve the job API on")
+		queueCap  = fs.Int("queue", 16, "max jobs waiting for a run slot (submissions beyond it get 503 queue_full)")
+		jobs      = fs.Int("jobs", 1, "jobs running concurrently (each fans its cells out over -workers)")
+		workers   = fs.Int("workers", 0, "concurrent runs per job (default GOMAXPROCS, the remote capacity with -remote, or 32 with -fleet)")
+		remotes   = fs.String("remote", "", "comma-separated worker base URLs (\"dcsim worker\" instances) to fan cells out to")
+		useFleet  = fs.Bool("fleet", false, "coordinate an elastic worker fleet: mount /fleet endpoints and dispatch runs over registered workers")
+		fleetMiss = fs.Int("fleet-miss", 3, "with -fleet: heartbeats a worker may miss before it expires")
+		local     = fs.Int("local", 0, "with -remote/-fleet: also run up to this many cells in-process (mixed mode)")
+		inflight  = fs.Int("inflight", 4, "with -remote/-fleet: max in-flight cells per worker")
+		nocheck   = fs.Bool("no-preflight", false, "with -remote: skip the worker health preflight at startup")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful drain window for running jobs after SIGINT")
+		quiet     = fs.Bool("quiet", false, "do not log per-job lines")
 	)
 	fs.Parse(args)
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if *remotes == "" {
-		for _, name := range []string{"local", "inflight", "no-preflight"} {
+	if *remotes != "" && *useFleet {
+		log.Fatal("serve: -remote and -fleet are mutually exclusive (a static list or an elastic fleet, not both)")
+	}
+	if *remotes == "" && !*useFleet {
+		for _, name := range []string{"local", "inflight"} {
 			if set[name] {
-				log.Fatalf("serve: -%s only applies with -remote (local runs are the default)", name)
+				log.Fatalf("serve: -%s only applies with -remote or -fleet (local runs are the default)", name)
 			}
 		}
+	}
+	if *remotes == "" && set["no-preflight"] {
+		log.Fatal("serve: -no-preflight only applies with -remote")
+	}
+	if !*useFleet && set["fleet-miss"] {
+		log.Fatal("serve: -fleet-miss only applies with -fleet")
 	}
 
 	cfg := service.Config{
@@ -60,7 +79,9 @@ func serveMain(args []string) {
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
-	if *remotes != "" {
+	var reg *fleet.Registry
+	switch {
+	case *remotes != "":
 		exec, err := remote.NewExecutor(remote.SplitURLList(*remotes),
 			remote.WithInFlight(*inflight), remote.WithLocalSlots(*local))
 		if err != nil {
@@ -78,6 +99,21 @@ func serveMain(args []string) {
 		if cfg.Workers == 0 {
 			cfg.Workers = exec.Capacity()
 		}
+	case *useFleet:
+		reg = fleet.NewRegistry(fleet.Config{MissThreshold: *fleetMiss, Logf: log.Printf})
+		exec, err := fleet.NewExecutor(reg,
+			fleet.WithInFlight(*inflight), fleet.WithLocalSlots(*local))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Executor = exec
+		cfg.Fleet = reg
+		if cfg.Workers == 0 {
+			// The fleet's capacity is dynamic: pick a generous fan-out (the
+			// engine caps it at the job's run count, and dispatch slots
+			// block cheaply while the fleet is smaller).
+			cfg.Workers = 32
+		}
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -91,6 +127,10 @@ func serveMain(args []string) {
 	}
 	log.Printf("service listening on %s (queue %d, %d concurrent job(s) × %d workers)",
 		ln.Addr(), *queueCap, cfg.Concurrency, cfg.Workers)
+	if reg != nil {
+		log.Printf("fleet coordinator mounted on /fleet — join workers with: dcsim worker -register http://<this-host>:%d",
+			ln.Addr().(*net.TCPAddr).Port)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -116,6 +156,9 @@ func serveMain(args []string) {
 		mgr.Drain(drainCtx)
 		cancel()
 		mgr.Close()
+		if reg != nil {
+			reg.Close()
+		}
 		shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel2()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

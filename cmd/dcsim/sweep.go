@@ -6,6 +6,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -14,37 +16,56 @@ import (
 	"time"
 
 	"repro/pkg/dcsim/sweep"
+	"repro/pkg/dcsim/sweep/fleet"
 	"repro/pkg/dcsim/sweep/remote"
 )
 
 // sweepMain implements "dcsim sweep": load a grid file, fan it out over a
-// worker pool — in-process by default, over HTTP workers with -remote, or
-// both with -remote plus -local — and write aggregate JSON and CSV
-// reports. Aggregates are byte-identical wherever the runs execute.
-// Ctrl-C cancels the sweep and the reports cover the cells that completed.
+// worker pool — in-process by default, over a static HTTP worker list with
+// -remote, over an elastic fleet of self-registering workers with -fleet,
+// mixed with in-process slots via -local — and write aggregate JSON and
+// CSV reports. Aggregates are byte-identical wherever the runs execute,
+// however the fleet churns. Ctrl-C cancels the sweep and the reports cover
+// the cells that completed.
 func sweepMain(args []string) {
 	fs := flag.NewFlagSet("dcsim sweep", flag.ExitOnError)
 	var (
-		gridPath = fs.String("grid", "", "JSON grid file (required; see examples/grids/)")
-		workload = fs.String("workload", "", "override the grid base's workload kind (see dcsim -help for kinds)")
-		tracedir = fs.String("tracedir", "", "recorded trace directory for the trace-dir workload kind; implies -workload trace-dir when the base kind is unset or the default")
-		workers  = fs.Int("workers", 0, "concurrent runs (default GOMAXPROCS, or the remote capacity with -remote; aggregates are identical at any count)")
-		outDir   = fs.String("out", ".", "directory the JSON and CSV reports are written to")
-		progress = fs.Bool("progress", false, "print each cell's aggregate as it completes")
-		quiet    = fs.Bool("quiet", false, "suppress the summary table on stdout")
-		bench    = fs.String("bench", "", "also write a timing record (runs, seconds, runs/s) to this file")
-		remotes  = fs.String("remote", "", "comma-separated worker base URLs (\"dcsim worker\" instances) to fan cells out to")
-		local    = fs.Int("local", 0, "with -remote: also run up to this many cells in-process (mixed mode)")
-		inflight = fs.Int("inflight", 4, "with -remote: max in-flight cells per worker")
-		nocheck  = fs.Bool("no-preflight", false, "with -remote: skip the worker health + capability preflight")
+		gridPath  = fs.String("grid", "", "JSON grid file (required; see examples/grids/)")
+		workload  = fs.String("workload", "", "override the grid base's workload kind (see dcsim -help for kinds)")
+		tracedir  = fs.String("tracedir", "", "recorded trace directory for the trace-dir workload kind; implies -workload trace-dir when the base kind is unset or the default")
+		workers   = fs.Int("workers", 0, "concurrent runs (default GOMAXPROCS, or the remote capacity with -remote; aggregates are identical at any count)")
+		outDir    = fs.String("out", ".", "directory the JSON and CSV reports are written to")
+		progress  = fs.Bool("progress", false, "print each cell's aggregate as it completes")
+		quiet     = fs.Bool("quiet", false, "suppress the summary table on stdout")
+		bench     = fs.String("bench", "", "also write a timing record (runs, seconds, runs/s) to this file")
+		remotes   = fs.String("remote", "", "comma-separated worker base URLs (\"dcsim worker\" instances) to fan cells out to")
+		fleetAddr = fs.String("fleet", "", "address to serve the elastic-fleet coordinator on; workers join with \"dcsim worker -register\"")
+		fleetMin  = fs.Int("fleet-min", 1, "with -fleet: wait for this many registered workers before sweeping")
+		fleetMiss = fs.Int("fleet-miss", 3, "with -fleet: heartbeats a worker may miss before it expires")
+		local     = fs.Int("local", 0, "with -remote/-fleet: also run up to this many cells in-process (mixed mode)")
+		inflight  = fs.Int("inflight", 4, "with -remote/-fleet: max in-flight cells per worker")
+		nocheck   = fs.Bool("no-preflight", false, "with -remote: skip the worker health + capability preflight")
 	)
 	fs.Parse(args)
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if *remotes == "" {
-		for _, name := range []string{"local", "inflight", "no-preflight"} {
+	if *remotes != "" && *fleetAddr != "" {
+		log.Fatal("sweep: -remote and -fleet are mutually exclusive (a static list or an elastic fleet, not both)")
+	}
+	if *remotes == "" && *fleetAddr == "" {
+		for _, name := range []string{"local", "inflight"} {
 			if set[name] {
-				log.Fatalf("sweep: -%s only applies with -remote (local runs are the default)", name)
+				log.Fatalf("sweep: -%s only applies with -remote or -fleet (local runs are the default)", name)
+			}
+		}
+	}
+	if *remotes == "" && set["no-preflight"] {
+		log.Fatal("sweep: -no-preflight only applies with -remote")
+	}
+	if *fleetAddr == "" {
+		for _, name := range []string{"fleet-min", "fleet-miss"} {
+			if set[name] {
+				log.Fatalf("sweep: -%s only applies with -fleet", name)
 			}
 		}
 	}
@@ -105,6 +126,39 @@ func sweepMain(args []string) {
 		opts.Executor = exec
 		if *workers == 0 {
 			opts.Workers = exec.Capacity()
+		}
+	}
+	if *fleetAddr != "" {
+		// The sweep process is the fleet coordinator: serve the membership
+		// endpoints, wait for -fleet-min workers to join, and dispatch over
+		// whatever the fleet holds as the sweep runs. Workers joining later
+		// absorb queued runs; workers dying have theirs stolen back.
+		reg := fleet.NewRegistry(fleet.Config{MissThreshold: *fleetMiss, Logf: log.Printf})
+		defer reg.Close()
+		fln, err := net.Listen("tcp", *fleetAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleetSrv := &http.Server{Handler: fleet.NewHandler(reg)}
+		go fleetSrv.Serve(fln)
+		defer fleetSrv.Close()
+		log.Printf("fleet coordinator on %s — join workers with: dcsim worker -register http://<this-host>:%d",
+			fln.Addr(), fln.Addr().(*net.TCPAddr).Port)
+		if err := reg.WaitForMembers(ctx, *fleetMin); err != nil {
+			log.Fatal(err)
+		}
+		exec, err := fleet.NewExecutor(reg,
+			fleet.WithInFlight(*inflight), fleet.WithLocalSlots(*local))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Executor = exec
+		if *workers == 0 {
+			// The fleet can grow mid-sweep, so size the fan-out past the
+			// initial membership; surplus dispatch slots block cheaply.
+			if opts.Workers = *fleetMin**inflight + *local; opts.Workers < runtime.GOMAXPROCS(0) {
+				opts.Workers = runtime.GOMAXPROCS(0)
+			}
 		}
 	}
 	if opts.Workers == 0 {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/pkg/dcsim/sweep"
+	"repro/pkg/dcsim/sweep/fleet"
 )
 
 // Server exposes a Manager as the simulation-as-a-service HTTP API.
@@ -25,6 +26,11 @@ import (
 //	GET    /jobs/{id}/events   Server-Sent Events: state, progress, and
 //	                           a final done/failed/cancelled event
 //	DELETE /jobs/{id}          cancel; idempotent on terminal jobs
+//
+// With Config.Fleet set, the elastic-fleet membership endpoints mount
+// alongside (POST /fleet/register, PUT/DELETE /fleet/members/{id},
+// GET /fleet — see sweep/fleet.NewHandler), and /metrics gains the
+// dcsim_fleet_* families.
 //
 // Failures use the envelope {"error":{"code":..., "message":...}} with
 // codes bad_request, bad_grid, queue_full, draining, not_found, and
@@ -45,6 +51,14 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	if m.cfg.Fleet != nil {
+		// The coordinator role rides on the same listener: workers
+		// register and heartbeat against the service that dispatches to
+		// them (see Config.Fleet).
+		fh := fleet.NewHandler(m.cfg.Fleet)
+		s.mux.Handle("/fleet", fh)
+		s.mux.Handle("/fleet/", fh)
+	}
 	return s
 }
 

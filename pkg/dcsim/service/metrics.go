@@ -101,6 +101,16 @@ func (m *Manager) WriteOpenMetrics(w io.Writer) error {
 	counter("dcsim_runs", "Cell-replica simulation runs completed across all jobs.", mm.runs.Load())
 	gauge("dcsim_queue_depth", "Jobs waiting for a run slot.", mm.queueDepth.Load())
 	gauge("dcsim_jobs_in_flight", "Jobs currently running.", mm.jobsInFlight.Load())
+	if m.cfg.Fleet != nil {
+		s := m.cfg.Fleet.Stats()
+		fmt.Fprintf(ew, "# TYPE dcsim_fleet_workers gauge\n# HELP dcsim_fleet_workers Fleet members by state.\n")
+		fmt.Fprintf(ew, "dcsim_fleet_workers{state=\"alive\"} %d\n", s.Alive)
+		fmt.Fprintf(ew, "dcsim_fleet_workers{state=\"draining\"} %d\n", s.Draining)
+		counter("dcsim_fleet_registrations", "Worker registrations accepted (re-registrations included).", s.Registrations)
+		counter("dcsim_fleet_expirations", "Workers expired for missed heartbeats or transport failures.", s.Expirations)
+		counter("dcsim_fleet_heartbeat_misses", "Individual overdue heartbeats observed.", s.HeartbeatMisses)
+		counter("dcsim_fleet_runs_stolen", "Runs stolen back from dead or lost workers and re-executed.", s.RunsStolen)
+	}
 	writeHistogram(ew, "dcsim_job_duration_seconds", "Wall time of finished jobs.", mm.jobDur)
 	writeHistogram(ew, "dcsim_cell_duration_seconds", "Wall time of executed cell-replica runs.", mm.cellDur)
 	fmt.Fprint(ew, "# EOF\n")

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/pkg/dcsim/sweep"
+	"repro/pkg/dcsim/sweep/fleet"
 )
 
 // State is a job's lifecycle state. Transitions are
@@ -84,6 +85,12 @@ type Config struct {
 	// HTTP worker fleet instead. It is shared by all jobs and must be
 	// safe for concurrent use (both bundled executors are).
 	Executor sweep.Executor
+	// Fleet, when set, is the elastic-fleet membership this service
+	// coordinates: Server mounts its /fleet endpoints (registration,
+	// heartbeats, listing) and WriteOpenMetrics renders the dcsim_fleet_*
+	// families from its stats. Pair it with a fleet.Executor over the
+	// same registry as Executor.
+	Fleet *fleet.Registry
 	// Logf, when set, receives one line per job transition. Nil means
 	// silent.
 	Logf func(format string, args ...any)

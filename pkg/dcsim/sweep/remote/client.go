@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -73,6 +74,7 @@ type config struct {
 	inFlight   int
 	localSlots int
 	client     *http.Client
+	retry      RetryPolicy
 }
 
 // Option configures NewExecutor.
@@ -89,6 +91,10 @@ func WithLocalSlots(n int) Option { return func(c *config) { c.localSlots = n } 
 // WithHTTPClient replaces the default HTTP client (no timeout: runs are
 // long and cancellation travels through the request context).
 func WithHTTPClient(client *http.Client) Option { return func(c *config) { c.client = client } }
+
+// WithRetry replaces the default retry policy (50ms base, 2s cap, seed 0)
+// shaping the backoff between a failed dispatch and its re-execution.
+func WithRetry(p RetryPolicy) Option { return func(c *config) { c.retry = p } }
 
 // SplitURLList splits a comma-separated worker list (the "dcsim sweep
 // -remote" flag format), trimming whitespace and dropping empty entries —
@@ -165,11 +171,17 @@ func (e *Executor) WorkerURLs() []string {
 }
 
 // ExecuteCell implements sweep.Executor: run one cell-replica on some live
-// backend, failing over to the survivors when a worker dies mid-cell. It
-// returns a typed *Error for deterministic worker-side failures and an
-// error wrapping ErrAllWorkersDown when no backend is left.
+// backend, failing over to the survivors when a worker dies mid-cell. A
+// failed dispatch re-executes after a bounded exponential backoff with
+// deterministic jitter (see RetryPolicy); a worker answering 503 busy is
+// retried after its Retry-After instead of being marked dead, and a
+// draining worker is retired from the rotation without counting as a
+// death. ExecuteCell returns a typed *Error for deterministic worker-side
+// failures and an error wrapping ErrAllWorkersDown when no backend is
+// left.
 func (e *Executor) ExecuteCell(ctx context.Context, run sweep.CellRun) (*dcsim.Result, error) {
 	var lastErr error
+	attempt := 0
 	for {
 		b, err := e.acquire(ctx)
 		if err != nil {
@@ -189,15 +201,60 @@ func (e *Executor) ExecuteCell(ctx context.Context, run sweep.CellRun) (*dcsim.R
 			e.release(b)
 			return nil, err
 		}
-		var re *retryableError
-		if !errors.As(err, &re) {
+		var te *TransportError
+		var we *Error
+		switch {
+		case errors.As(err, &te):
+			// Transport-level failure: the worker is gone (or unusable).
+			// Mark it dead — its tokens evaporate — and re-execute on a
+			// survivor after the backoff.
+			e.markDead(b)
+			lastErr = fmt.Errorf("worker %s: %w", b.name(), te.Err)
+			if err := sleepCtx(ctx, e.cfg.retry.Delay(run.Cell.Index, run.Replica, attempt)); err != nil {
+				return nil, err
+			}
+			attempt++
+		case errors.As(err, &we) && we.Code == CodeDraining:
+			// The worker is winding down, not lost: retire it from the
+			// rotation — steal nothing new to it — and reroute at once;
+			// the survivors' capacity is intact, so no backoff applies.
+			e.markDead(b)
+			lastErr = fmt.Errorf("worker %s: draining", b.name())
+		case errors.As(err, &we) && we.Code == CodeBusy:
+			// Merely loaded, not dead: keep the worker alive and retry
+			// after its own Retry-After hint or our backoff, whichever is
+			// longer.
+			e.release(b)
+			d := e.cfg.retry.Delay(run.Cell.Index, run.Replica, attempt)
+			if we.RetryAfter > d {
+				d = we.RetryAfter
+			}
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
+			attempt++
+		default:
+			// A deterministic worker-side failure: retrying elsewhere
+			// would fail identically.
 			e.release(b)
 			return nil, err
 		}
-		// Transport-level failure: the worker is gone (or unusable). Mark
-		// it dead — its tokens evaporate — and try a survivor.
-		e.markDead(b)
-		lastErr = fmt.Errorf("worker %s: %w", b.name(), re.err)
+	}
+}
+
+// sleepCtx waits d or until ctx ends, returning ctx's error in the latter
+// case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -256,49 +313,75 @@ func (e *Executor) runOn(ctx context.Context, b *backend, run sweep.CellRun) (*d
 	if b.local != nil {
 		return b.local.ExecuteCell(ctx, run)
 	}
+	return RunCell(ctx, e.cfg.client, b.url, run)
+}
+
+// RunCell executes one cell-replica on the worker at baseURL — the POST
+// /run leg of the worker protocol, shared by the static Executor here and
+// the fleet executor in sweep/fleet. Failures classify three ways: a
+// *TransportError (connection-level failure, 5xx, or a non-protocol
+// response — the worker is gone or unusable, re-execute elsewhere), a
+// typed *Error with CodeBusy or CodeDraining (a healthy worker declining —
+// wait or reroute, carrying any Retry-After hint), or any other typed
+// *Error (deterministic, never retried).
+func RunCell(ctx context.Context, client *http.Client, baseURL string, run sweep.CellRun) (*dcsim.Result, error) {
 	body, err := json.Marshal(run)
 	if err != nil {
 		return nil, fmt.Errorf("remote: marshal cell run: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+runPath, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+runPath, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("remote: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := e.cfg.client.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
-		return nil, &retryableError{err}
+		return nil, &TransportError{err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		return nil, &retryableError{fmt.Errorf("read response: %w", err)}
+		return nil, &TransportError{fmt.Errorf("read response: %w", err)}
 	}
 	var envelope runResponse
 	decodeErr := json.Unmarshal(data, &envelope)
 	switch {
 	case resp.StatusCode == http.StatusOK && decodeErr == nil && envelope.Result != nil:
 		return envelope.Result, nil
+	case decodeErr == nil && envelope.Error != nil && resp.StatusCode == http.StatusServiceUnavailable &&
+		(envelope.Error.Code == CodeBusy || envelope.Error.Code == CodeDraining):
+		// A healthy worker declining: busy (retry after the hint) or
+		// draining (reroute). Not a death.
+		envelope.Error.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		return nil, envelope.Error
 	case decodeErr == nil && envelope.Error != nil && resp.StatusCode < http.StatusInternalServerError:
 		// A typed worker-side failure: deterministic, so not retryable.
 		return nil, envelope.Error
 	default:
 		// 5xx, a truncated body, or a non-protocol response: treat the
 		// worker as broken and fail over.
-		return nil, &retryableError{fmt.Errorf("status %d: %s", resp.StatusCode, snippet(data))}
+		return nil, &TransportError{fmt.Errorf("status %d: %s", resp.StatusCode, snippet(data))}
 	}
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form ("" or
+// unparsable means no hint; the HTTP-date form is not worth supporting
+// between our own binaries).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // maxBodyBytes bounds every response body this client reads — run
 // results, capability listings, and health probes alike — so a confused
 // or hostile endpoint cannot balloon the sweep driver's memory.
 const maxBodyBytes = 64 << 20
-
-// retryableError marks transport-level failures that justify failover.
-type retryableError struct{ err error }
-
-func (e *retryableError) Error() string { return e.err.Error() }
-func (e *retryableError) Unwrap() error { return e.err }
 
 // snippet bounds an HTTP body for error messages.
 func snippet(b []byte) string {
@@ -327,7 +410,7 @@ func Health(ctx context.Context, client *http.Client, baseURL string) error {
 	if err != nil {
 		return err
 	}
-	if info.Status != "ok" {
+	if info.Status != StatusOK {
 		return fmt.Errorf("remote: worker %s health = %q", baseURL, info.Status)
 	}
 	return nil

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/pkg/dcsim"
 )
@@ -56,15 +57,30 @@ const (
 	CodeRunFailed Code = "run_failed"
 	// CodeCancelled marks a run stopped by request-context cancellation.
 	CodeCancelled Code = "cancelled"
+	// CodeBusy marks a worker at its in-flight capacity (Server.MaxInflight)
+	// declining a run it would otherwise serve. The condition is transient:
+	// clients honor the 503's Retry-After instead of dead-marking the
+	// worker.
+	CodeBusy Code = "busy"
+	// CodeDraining marks a worker winding down: it finishes its in-flight
+	// runs but accepts nothing new. Clients stop routing runs to it — and,
+	// unlike a transport failure, do not treat the rejection as a death.
+	CodeDraining Code = "draining"
 )
 
 // Error is the typed failure a worker reports and the client surfaces.
-// Application-level errors are deterministic, so the client does not retry
-// them; use errors.As to classify one, e.g. to tell a registry mismatch
-// (CodeUnknownComponent) from a failing simulation (CodeRunFailed).
+// Most application-level errors are deterministic, so the client does not
+// retry them; use errors.As to classify one, e.g. to tell a registry
+// mismatch (CodeUnknownComponent) from a failing simulation
+// (CodeRunFailed). The two availability codes are the exception: CodeBusy
+// is retried after RetryAfter, CodeDraining reroutes the run to another
+// worker.
 type Error struct {
 	Code    Code   `json:"code"`
 	Message string `json:"message"`
+	// RetryAfter is the worker's Retry-After hint on a 503 (zero when the
+	// response carried none). It travels in the header, not the JSON body.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements the error interface.
@@ -76,6 +92,86 @@ func (e *Error) Error() string {
 // worker is left alive to run a cell-replica. sweep.Run surfaces it while
 // preserving the cells that had already completed.
 var ErrAllWorkersDown = errors.New("remote: all workers down")
+
+// TransportError marks a transport-level failure talking to a worker:
+// connection refused, a connection dropped mid-request, a 5xx, or a
+// non-protocol response. Unlike a typed *Error it says nothing
+// deterministic about the run, so callers treat the worker as gone and
+// re-execute the cell-replica elsewhere.
+type TransportError struct{ Err error }
+
+// Error implements the error interface.
+func (e *TransportError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// RetryPolicy shapes the delay between a failed dispatch and its
+// re-execution: bounded exponential backoff with deterministic jitter.
+// Delay is a pure function of (Seed, cell, replica, attempt), so retry
+// timing is reproducible run to run — tests can pin it — while distinct
+// cell-replicas still spread out instead of thundering back in lockstep.
+type RetryPolicy struct {
+	// Base is the delay scale of the first retry; attempt k scales it by
+	// 2^k. 0 selects 50ms.
+	Base time.Duration
+	// Max caps the backoff however many attempts accumulate. 0 selects 2s.
+	Max time.Duration
+	// Seed keys the jitter hash. The zero seed is valid (and the default):
+	// determinism comes from the seed being fixed, not from its value.
+	Seed int64
+}
+
+// withDefaults resolves the zero-value policy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	return p
+}
+
+// Delay returns the backoff before retry number attempt (0-based) of the
+// given cell-replica: half the capped exponential step plus a jittered
+// half, the jitter hashed from (Seed, cell, replica, attempt).
+func (p RetryPolicy) Delay(cell, replica, attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	// FNV-1a over the identifying tuple: cheap, stateless, and stable.
+	h := fnv1a(uint64(p.Seed), uint64(cell), uint64(replica), uint64(attempt))
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + int64(h%uint64(half)))
+}
+
+// fnv1a hashes a tuple of words with 64-bit FNV-1a.
+func fnv1a(words ...uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
 
 // Capabilities is a worker's registry listing — the component names its
 // process can resolve, including the workload kinds it can source traces
@@ -113,13 +209,25 @@ func (c Capabilities) Fingerprint() string {
 
 // HealthInfo is the /healthz payload: liveness, the worker's current
 // in-flight run count, and its capabilities fingerprint. Status "ok" is
-// the original (and still primary) health contract; the other fields let
-// clients detect load and registry drift without a second round trip.
+// the original (and still primary) health contract — a worker winding
+// down reports "draining" instead, so clients and fleet coordinators see
+// the drain the moment it starts rather than when the process vanishes.
+// The other fields let clients detect load and registry drift without a
+// second round trip.
 type HealthInfo struct {
 	Status       string `json:"status"`
 	Inflight     int64  `json:"inflight"`
 	Capabilities string `json:"capabilities"`
 }
+
+// Health status values a worker reports.
+const (
+	// StatusOK is a live worker accepting runs.
+	StatusOK = "ok"
+	// StatusDraining is a worker finishing in-flight runs but accepting
+	// nothing new (its drain window after SIGINT).
+	StatusDraining = "draining"
+)
 
 // LocalCapabilities lists the component names registered in this process.
 func LocalCapabilities() Capabilities {

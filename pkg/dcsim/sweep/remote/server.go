@@ -3,6 +3,7 @@ package remote
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync/atomic"
 
@@ -35,19 +36,39 @@ const statusClientClosedRequest = 499
 //
 // /healthz answers a HealthInfo: {"status":"ok"} for compatibility with
 // older clients, plus the current in-flight run count and the worker's
-// capabilities fingerprint (see Capabilities.Fingerprint).
+// capabilities fingerprint (see Capabilities.Fingerprint). A draining
+// worker (SetDraining) reports {"status":"draining"} and answers /run
+// with a 503 draining error so clients reroute instead of dead-marking
+// it.
 type Server struct {
 	// Logf, when set, receives one line per handled run (and per typed
 	// failure). Nil means silent.
 	Logf func(format string, args ...any)
 
+	// MaxInflight, when positive, bounds the runs executing at once:
+	// beyond it /run answers 503 busy with a Retry-After, telling the
+	// client this worker is loaded, not lost. 0 means unbounded (the
+	// client's own per-worker in-flight cap is then the only limit).
+	MaxInflight int64
+
 	// inflight counts /run requests currently executing.
 	inflight atomic.Int64
+	// draining reports the worker is winding down (its drain window).
+	draining atomic.Bool
 }
 
 // Inflight is the number of runs executing right now — what a graceful
 // drain is waiting on.
 func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// SetDraining flips the worker's drain state. While draining, /healthz
+// reports "draining" and /run rejects new work with a typed 503 draining
+// error; in-flight runs are unaffected. `dcsim worker` sets it on SIGINT
+// for the length of its -drain window.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the worker is winding down.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // logf logs through s.Logf when set.
 func (s *Server) logf(format string, args ...any) {
@@ -64,8 +85,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			methodNotAllowed(w, http.MethodGet)
 			return
 		}
+		status := StatusOK
+		if s.draining.Load() {
+			status = StatusDraining
+		}
 		writeJSON(w, http.StatusOK, HealthInfo{
-			Status:       "ok",
+			Status:       status,
 			Inflight:     s.inflight.Load(),
 			Capabilities: LocalCapabilities().Fingerprint(),
 		})
@@ -87,9 +112,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRun decodes one CellRun, validates it against this process's
-// registries, and executes it under the request context.
+// registries, and executes it under the request context. Draining and
+// over-capacity workers decline with typed 503s — rejections that tell
+// the client to reroute or wait, not to bury the worker.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, CodeDraining,
+			"worker draining: finishing in-flight runs, accepting no new ones")
+		return
+	}
+	if n := s.inflight.Add(1); s.MaxInflight > 0 && n > s.MaxInflight {
+		s.inflight.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, CodeBusy,
+			fmt.Sprintf("worker at capacity: %d runs in flight", n-1))
+		return
+	}
 	defer s.inflight.Add(-1)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
