@@ -77,8 +77,10 @@ smoke-fleet:
 	./scripts/fleet_smoke.sh
 
 # bench-alloc records the allocator scaling trajectory (exact Fig.-2
-# semantics up to 2k VMs, blocked evaluation at 1k/2k/10k) in
-# BENCH_alloc.json.
+# semantics up to 2k VMs, blocked evaluation at 1k/2k/10k) plus the
+# per-phase attribution rows (matrix-update / fill-scoring /
+# placement-total, serial vs parallel) in BENCH_alloc.json. Set
+# ALLOC_CPUPROFILE=<path> to also capture a 2k-VM CPU profile.
 bench-alloc:
 	./scripts/bench_alloc.sh
 
@@ -92,7 +94,9 @@ bench-sweep:
 # bench-compare fails when the freshly recorded BENCH_sweep.json or
 # BENCH_alloc.json regresses more than BENCH_REGRESS_PCT percent (default
 # 100) against the committed baselines, printing the deltas either way.
-# Depends on both recorders so the comparison always reads fresh records,
-# even under `make -j`.
+# Allocator rows are gated per phase (scale / matrix / fill / total), so
+# one phase cannot silently regress behind another's improvement. Depends
+# on both recorders so the comparison always reads fresh records, even
+# under `make -j`.
 bench-compare: bench-sweep bench-alloc
 	./scripts/bench_compare.sh

@@ -3,9 +3,19 @@ package core
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/pkg/dcsim/model"
 )
+
+// DefaultBlock is the default bound on each server fill's candidate set
+// (Config.Block). 512 is the measured sweet spot: on the paper's Setup-2
+// configurations (40 VMs) any block >= n evaluates every candidate, so
+// placements are identical to the exact Fig.-2 semantics, while at 1k-10k
+// VMs the bound keeps per-admission work O(Block) and the whole placement
+// sub-quadratic with an active-server count within ~1% of exact (see the
+// README's Performance section for the recorded delta).
+const DefaultBlock = 512
 
 // Config parameterizes the correlation-aware allocator of Fig. 2.
 type Config struct {
@@ -25,14 +35,27 @@ type Config struct {
 	// evaluation that turns the fill from O(n) per admission into O(Block)
 	// and the whole placement sub-quadratic at 10k+ VMs. Zero evaluates
 	// every unallocated VM, the paper's exact Fig.-2 semantics; Block >= n
-	// is identical to exact.
+	// is identical to exact. DefaultConfig sets DefaultBlock.
 	Block int
+	// Parallel, when > 1, fans the per-admission candidate scoring, the
+	// affinity seeding, and the post-admission running-sum extensions out
+	// over that many workers (chunked over the candidate set, gated so
+	// small fills stay serial). Placements are byte-identical to serial:
+	// every candidate's score is computed by the same expression and ties
+	// break to the lowest candidate index in both modes. 0 or 1 is serial.
+	// With Parallel > 1 the pairwise cost source must be safe for
+	// concurrent calls (the streaming CostMatrix and the batch fallback
+	// both are; a custom CostFn must be).
+	Parallel int
 }
 
-// DefaultConfig matches the paper's operating point: peak reference,
-// a mildly selective threshold, and a 10% relaxation per round.
+// DefaultConfig matches the paper's operating point — peak reference, a
+// mildly selective threshold, a 10% relaxation per round — with blocked
+// candidate evaluation (DefaultBlock) as the default execution strategy.
+// At the paper's 40-VM scale the block covers every candidate, so results
+// are exactly Fig. 2; set Block = 0 to force exact evaluation at any scale.
 func DefaultConfig() Config {
-	return Config{Pctl: 1, THCost: 1.15, Alpha: 0.9}
+	return Config{Pctl: 1, THCost: 1.15, Alpha: 0.9, Block: DefaultBlock}
 }
 
 // Allocator is the paper's correlation-aware VM placement (Fig. 2). It
@@ -43,6 +66,11 @@ func DefaultConfig() Config {
 // count as the request slice (the simulator feeds it one sample at a time,
 // the UPDATE phase of Fig. 2); otherwise they are computed batch-style from
 // each request's Window, so the allocator also works standalone.
+//
+// An Allocator reuses per-placement scratch across Place calls, so a single
+// instance must not run concurrent placements; concurrent callers need one
+// Allocator each. (Config.Parallel is internal fan-out within one Place
+// call and does not change this contract.)
 type Allocator struct {
 	Config
 	Matrix model.CostSource
@@ -50,6 +78,25 @@ type Allocator struct {
 	// The Pearson-affinity ablation (A4 in DESIGN.md) uses this to swap
 	// Eqn 1 for a rescaled Pearson correlation.
 	CostFn PairCostFunc
+
+	scratch placeScratch
+}
+
+// placeScratch is the per-placement working state Place reuses between
+// calls: candidate/order/affinity slices that were previously reallocated
+// every call (the order slice every relaxation round).
+type placeScratch struct {
+	refs      []float64
+	rem       []float64
+	unalloc   []int
+	order     []int
+	cand      []int
+	affNum    []float64
+	allocated []bool
+	// chunkBest/chunkScore are the per-chunk argmax slots of the parallel
+	// scoring reduction.
+	chunkBest  []int
+	chunkScore []float64
 }
 
 // NewAllocator returns an allocator with the given config and no matrix.
@@ -57,6 +104,11 @@ func NewAllocator(cfg Config) *Allocator { return &Allocator{Config: cfg} }
 
 // Name implements model.Policy.
 func (a *Allocator) Name() string { return "CorrAware" }
+
+// unsetCost marks an uncomputed entry in the batch fallback's flat cost
+// cache. It is a quiet-NaN bit pattern no arithmetic in CostOf produces,
+// so it cannot collide with a real cached cost.
+const unsetCost = 0x7FF8_0000_DEAD_C0DE
 
 // costFunc picks the pairwise cost source for this request set.
 func (a *Allocator) costFunc(reqs []model.Request) PairCostFunc {
@@ -70,8 +122,18 @@ func (a *Allocator) costFunc(reqs []model.Request) PairCostFunc {
 	if pctl <= 0 {
 		pctl = 1
 	}
-	// Batch fallback: memoized pairwise costs over the request windows.
-	cache := make(map[[2]int]float64)
+	// Batch fallback: memoized pairwise costs over the request windows in
+	// a flat upper-triangle slice (same indexing as CostMatrix.pairIndex).
+	// A map[[2]int]float64 here showed up in exact-mode profiles as pure
+	// hash overhead; the flat slice is one multiply away from the entry
+	// and — with atomic slot access — safe to share across parallel
+	// scorers: racing scorers compute the identical value (CostOf is a
+	// pure function of the windows), so whichever store lands is right.
+	n := len(reqs)
+	cache := make([]uint64, n*(n-1)/2)
+	for i := range cache {
+		cache[i] = unsetCost
+	}
 	return func(i, j int) float64 {
 		if i == j {
 			return 1
@@ -79,15 +141,15 @@ func (a *Allocator) costFunc(reqs []model.Request) PairCostFunc {
 		if i > j {
 			i, j = j, i
 		}
-		key := [2]int{i, j}
-		if c, ok := cache[key]; ok {
-			return c
+		k := i*n - i*(i+1)/2 + (j - i - 1)
+		if bits := atomic.LoadUint64(&cache[k]); bits != unsetCost {
+			return math.Float64frombits(bits)
 		}
 		c := 1.0
 		if reqs[i].Window != nil && reqs[j].Window != nil {
 			c = CostOf(reqs[i].Window.Samples(), reqs[j].Window.Samples(), pctl)
 		}
-		cache[key] = c
+		atomic.StoreUint64(&cache[k], math.Float64bits(c))
 		return c
 	}
 }
@@ -104,6 +166,22 @@ func EstimateServers(refs []float64, cores int) int {
 		n = 1
 	}
 	return n
+}
+
+// growInts returns s resized to n, reusing capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats returns s resized to n, reusing capacity.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // Place implements model.Policy with the two-phase algorithm of Fig. 2.
@@ -128,6 +206,14 @@ func EstimateServers(refs []float64, cores int) int {
 // its candidates to the Block largest eligible VMs (a binary search into
 // the û-sorted order), which caps the per-admission work at O(Block) and
 // makes the whole placement sub-quadratic.
+//
+// With Config.Parallel > 1, fills above allocParallelMin candidates fan
+// the three per-admission loops — affinity seeding, scoring, running-sum
+// extension — out over contiguous candidate chunks on the shared worker
+// pool. Each candidate's score is the same expression either way, and the
+// argmax reduces per-chunk winners in ascending chunk order under the same
+// strictly-greater comparison as the serial scan, so the admitted VM (and
+// therefore the whole placement) is byte-identical to serial execution.
 func (a *Allocator) Place(reqs []model.Request, spec model.ServerSpec, maxServers int) (*model.Placement, error) {
 	if maxServers < 1 {
 		return nil, model.ErrNoServers
@@ -136,10 +222,19 @@ func (a *Allocator) Place(reqs []model.Request, spec model.ServerSpec, maxServer
 		return nil, err
 	}
 	cost := a.costFunc(reqs)
-	refs := make([]float64, len(reqs))
+	sc := &a.scratch
+	refs := growFloats(sc.refs, len(reqs))
 	for i, r := range reqs {
 		refs[i] = r.Ref
 	}
+	sc.refs = refs
+
+	workers := a.Parallel
+	if workers < 2 {
+		workers = 1
+	}
+	sc.chunkBest = growInts(sc.chunkBest, workers)
+	sc.chunkScore = growFloats(sc.chunkScore, workers)
 
 	// Eqn 3: start with the estimated minimal active server count.
 	nServers := EstimateServers(refs, spec.Cores)
@@ -147,7 +242,7 @@ func (a *Allocator) Place(reqs []model.Request, spec model.ServerSpec, maxServer
 		nServers = maxServers
 	}
 	cap := spec.Capacity()
-	rem := make([]float64, nServers)
+	rem := growFloats(sc.rem, nServers)
 	for i := range rem {
 		rem[i] = cap
 	}
@@ -158,13 +253,22 @@ func (a *Allocator) Place(reqs []model.Request, spec model.ServerSpec, maxServer
 	// linear scan per removal made removals alone O(n²) at 1k+ VMs);
 	// scans skip marked entries, and the slice is compacted — order
 	// preserved, so placements are byte-identical — once half is dead.
-	unalloc := make([]int, len(reqs))
+	unalloc := growInts(sc.unalloc, len(reqs))
 	for i := range unalloc {
 		unalloc[i] = i
 	}
 	sort.SliceStable(unalloc, func(x, y int) bool { return refs[unalloc[x]] > refs[unalloc[y]] })
 
-	allocated := make([]bool, len(reqs))
+	allocated := sc.allocated
+	if len(reqs) > len(allocated) {
+		allocated = make([]bool, len(reqs))
+	} else {
+		allocated = allocated[:len(reqs)]
+		for i := range allocated {
+			allocated[i] = false
+		}
+	}
+	sc.allocated = allocated
 	nUnalloc := len(reqs)
 	remove := func(v int) {
 		allocated[v] = true
@@ -185,18 +289,32 @@ func (a *Allocator) Place(reqs []model.Request, spec model.ServerSpec, maxServer
 	// so affinity(cand[i]) = affNum[i]/affDen. Admitting a member extends
 	// every candidate's running sum by one term instead of recomputing the
 	// whole inner product.
-	affNum := make([]float64, len(reqs))
-	cand := make([]int, 0, len(reqs))
+	affNum := growFloats(sc.affNum, len(reqs))
+	cand := growInts(sc.cand, len(reqs))[:0]
+	chunkBest, chunkScore := sc.chunkBest, sc.chunkScore
+
+	// pfor fans fn out over [0, n) when the fill is big enough to pay for
+	// the fork/join; otherwise it runs the single serial chunk inline.
+	pfor := func(n int, fn func(chunk, lo, hi int)) {
+		if workers > 1 && n >= allocParallelMin {
+			parallelFor(workers, n, fn)
+		} else if n > 0 {
+			fn(0, 0, n)
+		}
+	}
 
 	th := a.THCost
 	alpha := a.Alpha
 	if alpha <= 0 || alpha >= 1 {
 		alpha = 0.9
 	}
+	// Servers in decreasing remaining-capacity order (lines 10, 18),
+	// re-sorted every relaxation round; the slice itself is hoisted out of
+	// the loop and reused (it was reallocated every round).
+	order := growInts(sc.order, len(rem))
 	for nUnalloc > 0 {
 		progress := false
-		// Servers in decreasing remaining-capacity order (lines 10, 18).
-		order := make([]int, len(rem))
+		order = growInts(order, len(rem))
 		for i := range order {
 			order[i] = i
 		}
@@ -227,38 +345,84 @@ func (a *Allocator) Place(reqs []model.Request, spec model.ServerSpec, maxServer
 			}
 			// Seed the running affinity sums with the server's current
 			// members (non-empty when revisiting a server after a
-			// threshold relaxation round).
+			// threshold relaxation round). Per candidate the terms
+			// accumulate in member order regardless of chunking, so the
+			// parallel seed is bit-identical to the serial one.
 			affDen := 0.0
-			for i := range cand {
-				affNum[i] = 0
-			}
 			for _, k := range members[s] {
 				affDen += refs[k]
-				for i, v := range cand {
-					affNum[i] += refs[k] * cost(v, k)
-				}
 			}
+			mem := members[s]
+			pfor(len(cand), func(_, clo, chi int) {
+				for i := clo; i < chi; i++ {
+					sum := 0.0
+					v := cand[i]
+					for _, k := range mem {
+						sum += refs[k] * cost(v, k)
+					}
+					affNum[i] = sum
+				}
+			})
 			// Fill this server while eligible VMs remain (lines 11-16).
 			for {
 				best, bestScore := -1, math.Inf(-1)
-				for i, v := range cand {
-					if allocated[v] {
-						continue
+				if workers > 1 && len(cand) >= allocParallelMin {
+					// Chunked argmax: each chunk keeps its first strictly
+					// greatest score; reducing in ascending chunk order
+					// with the same strict comparison reproduces the
+					// serial lowest-index tie-break exactly.
+					nchunks := workers
+					if nchunks > len(cand) {
+						nchunks = len(cand)
 					}
-					if refs[v] > rem[s]+1e-12 {
-						continue
+					parallelFor(workers, len(cand), func(c, clo, chi int) {
+						b, bs := -1, math.Inf(-1)
+						for i := clo; i < chi; i++ {
+							v := cand[i]
+							if allocated[v] {
+								continue
+							}
+							if refs[v] > rem[s]+1e-12 {
+								continue
+							}
+							score := math.Inf(1)
+							if affDen > 1e-12 {
+								score = affNum[i] / affDen
+							}
+							if score < th {
+								continue
+							}
+							if score > bs {
+								b, bs = i, score
+							}
+						}
+						chunkBest[c], chunkScore[c] = b, bs
+					})
+					for c := 0; c < nchunks; c++ {
+						if chunkBest[c] >= 0 && chunkScore[c] > bestScore {
+							best, bestScore = chunkBest[c], chunkScore[c]
+						}
 					}
-					// An empty server — or members with no measured
-					// demand — imposes no correlation constraint.
-					score := math.Inf(1)
-					if affDen > 1e-12 {
-						score = affNum[i] / affDen
-					}
-					if score < th {
-						continue
-					}
-					if score > bestScore {
-						best, bestScore = i, score
+				} else {
+					for i, v := range cand {
+						if allocated[v] {
+							continue
+						}
+						if refs[v] > rem[s]+1e-12 {
+							continue
+						}
+						// An empty server — or members with no measured
+						// demand — imposes no correlation constraint.
+						score := math.Inf(1)
+						if affDen > 1e-12 {
+							score = affNum[i] / affDen
+						}
+						if score < th {
+							continue
+						}
+						if score > bestScore {
+							best, bestScore = i, score
+						}
 					}
 				}
 				if best == -1 {
@@ -270,11 +434,13 @@ func (a *Allocator) Place(reqs []model.Request, spec model.ServerSpec, maxServer
 				remove(v)
 				// Extend the running sums by the admitted member.
 				affDen += refs[v]
-				for i, c := range cand {
-					if !allocated[c] {
-						affNum[i] += refs[v] * cost(c, v)
+				pfor(len(cand), func(_, clo, chi int) {
+					for i := clo; i < chi; i++ {
+						if c := cand[i]; !allocated[c] {
+							affNum[i] += refs[v] * cost(c, v)
+						}
 					}
-				}
+				})
 				progress = true
 			}
 		}
@@ -314,6 +480,9 @@ func (a *Allocator) Place(reqs []model.Request, spec model.ServerSpec, maxServer
 			th = 0
 		}
 	}
+	// Hand the working slices back to the scratch for the next call
+	// (capacity is what matters; grow* resizes them on entry).
+	sc.unalloc, sc.rem, sc.order, sc.cand, sc.affNum = unalloc, rem, order, cand, affNum
 
 	assign := make([]int, len(reqs))
 	for s, ms := range members {

@@ -255,6 +255,7 @@ func TestAllocatorBlockAtLeastNMatchesExact(t *testing.T) {
 	for _, n := range []int{17, 60, 200} {
 		reqs := scaleReqs(n, int64(n))
 		exact := &Allocator{Config: DefaultConfig(), CostFn: SyntheticPairCost}
+		exact.Block = 0
 		blocked := &Allocator{Config: DefaultConfig(), CostFn: SyntheticPairCost}
 		blocked.Block = n + 5
 		pe, err := exact.Place(reqs, spec8(), n)
@@ -272,6 +273,39 @@ func TestAllocatorBlockAtLeastNMatchesExact(t *testing.T) {
 			if pe.Assign[i] != pb.Assign[i] {
 				t.Fatalf("n=%d: vm %d on %d (exact) vs %d (blocked)", n, i, pe.Assign[i], pb.Assign[i])
 			}
+		}
+	}
+}
+
+// TestBlockedDefaultQualityDelta quantifies what blocked-by-default trades
+// away: at scales where DefaultBlock actually bounds the candidate set
+// (n > 512; at the paper's 40-VM setups the block covers every candidate
+// and placements are exactly Fig. 2), the blocked placement must stay
+// within 2% of the exact active-server count. The logged deltas are the
+// numbers the README's Performance section records.
+func TestBlockedDefaultQualityDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact placement at 2k VMs is slow")
+	}
+	for _, n := range []int{1000, 2000} {
+		reqs := scaleReqs(n, int64(n))
+		exact := &Allocator{Config: DefaultConfig(), CostFn: SyntheticPairCost}
+		exact.Block = 0
+		blocked := &Allocator{Config: DefaultConfig(), CostFn: SyntheticPairCost}
+		pe, err := exact.Place(reqs, spec8(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := blocked.Place(reqs, spec8(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltaPct := 100 * float64(pb.NumServers-pe.NumServers) / float64(pe.NumServers)
+		t.Logf("n=%d: active servers exact=%d blocked(%d)=%d (%+.2f%%)",
+			n, pe.NumServers, DefaultBlock, pb.NumServers, deltaPct)
+		if deltaPct > 2 || deltaPct < -2 {
+			t.Fatalf("n=%d: blocked default costs %.2f%% active servers (exact %d, blocked %d)",
+				n, deltaPct, pe.NumServers, pb.NumServers)
 		}
 	}
 }

@@ -1,0 +1,81 @@
+// parallel.go provides the deterministic fork/join helper the placement
+// hot path fans out on: a lazily started, package-shared worker pool sized
+// to GOMAXPROCS, plus parallelFor, which splits an index range into
+// contiguous per-worker chunks. Determinism is structural — every chunk
+// covers a fixed sub-range regardless of scheduling, so any computation
+// whose per-index work is independent (or whose per-chunk results are
+// reduced in chunk order by the caller) produces bytes identical to a
+// serial loop.
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Tunable gate thresholds: below these sizes the fork/join overhead
+// (channel sends, cache traffic) exceeds the win and the hot path stays
+// serial even when parallelism is configured. Package variables so the
+// equivalence tests can force the parallel paths on small inputs.
+var (
+	// allocParallelMin is the minimum candidate-set size before a server
+	// fill's scoring and running-sum extensions fan out.
+	allocParallelMin = 512
+	// matrixParallelMin is the minimum pair count before CostMatrix.Add
+	// shards the upper triangle.
+	matrixParallelMin = 4096
+)
+
+// poolTask is one chunk of a parallelFor call.
+type poolTask struct {
+	run func()
+	wg  *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan poolTask
+)
+
+// startPool launches the shared workers. The pool is global and lives for
+// the process — one set of goroutines serves every Allocator and
+// CostMatrix, so per-call fan-out costs a channel send instead of a
+// goroutine spawn.
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	poolCh = make(chan poolTask, 8*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range poolCh {
+				t.run()
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelFor runs fn over [0, n) split into at most `workers` contiguous
+// chunks: fn(chunk, lo, hi) with chunk indices 0..k-1 in ascending range
+// order. Chunk 0 runs on the calling goroutine; the rest run on the shared
+// pool. fn must not call parallelFor itself (a nested fan-out could starve
+// the pool), and must only write state owned by its chunk.
+func parallelFor(workers, n int, fn func(chunk, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	poolOnce.Do(startPool)
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for c := 1; c < workers; c++ {
+		c, lo, hi := c, c*n/workers, (c+1)*n/workers
+		poolCh <- poolTask{run: func() { fn(c, lo, hi) }, wg: &wg}
+	}
+	fn(0, 0, n/workers)
+	wg.Wait()
+}

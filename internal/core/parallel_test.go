@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/place"
+)
+
+// forceParallel lowers the fan-out gates so the parallel code paths run on
+// test-sized inputs, restoring them on cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldAlloc, oldMatrix := allocParallelMin, matrixParallelMin
+	allocParallelMin, matrixParallelMin = 4, 4
+	t.Cleanup(func() { allocParallelMin, matrixParallelMin = oldAlloc, oldMatrix })
+}
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 50} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			hits := make([]int, n)
+			var mu sync.Mutex
+			parallelFor(workers, n, func(_, lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForChunkOrder(t *testing.T) {
+	// Chunks must partition [0, n) into ascending contiguous ranges so a
+	// chunk-ordered reduction reproduces a serial left-to-right scan.
+	const workers, n = 4, 103
+	lows := make([]int, workers)
+	highs := make([]int, workers)
+	parallelFor(workers, n, func(c, lo, hi int) {
+		lows[c], highs[c] = lo, hi
+	})
+	if lows[0] != 0 || highs[workers-1] != n {
+		t.Fatalf("range not covered: lows=%v highs=%v", lows, highs)
+	}
+	for c := 1; c < workers; c++ {
+		if lows[c] != highs[c-1] {
+			t.Fatalf("chunk %d starts at %d, previous ends at %d", c, lows[c], highs[c-1])
+		}
+	}
+}
+
+// randomReqs builds a request set with demand windows so the batch-fallback
+// cost path (flat shared cache) is exercised alongside synthetic costs.
+func randomReqs(n int, seed int64, windows bool) []place.Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]place.Request, n)
+	for i := range reqs {
+		var w place.Request
+		w.Ref = 0.3 + 3.5*rng.Float64()
+		if windows {
+			s := phasedWindow(i%2, 60, seed+int64(i))
+			w.Window = s
+			w.Ref = s.Max()
+		}
+		reqs[i] = w
+	}
+	return reqs
+}
+
+func samePlacement(t *testing.T, label string, a, b *place.Placement) {
+	t.Helper()
+	if a.NumServers != b.NumServers {
+		t.Fatalf("%s: servers %d vs %d", label, a.NumServers, b.NumServers)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("%s: vm %d on server %d (serial) vs %d (parallel)", label, i, a.Assign[i], b.Assign[i])
+		}
+	}
+}
+
+// TestPlaceParallelMatchesSerial is the byte-identical contract: for exact
+// and blocked modes, randomized workloads (synthetic, matrix-fed, and
+// window-fallback costs), threshold-relaxation rounds, and the
+// capacity-shortfall overcommit branch, Parallel ∈ {2, 4, 8} must
+// reproduce the serial placement exactly. Run under -race in CI, it also
+// pins that the fan-out is data-race-free.
+func TestPlaceParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	type variant struct {
+		name       string
+		block      int
+		thcost     float64
+		maxServers int
+		windows    bool
+		matrix     bool
+	}
+	variants := []variant{
+		{name: "exact", block: 0, thcost: 1.15, maxServers: 0},
+		{name: "blocked", block: 16, thcost: 1.15, maxServers: 0},
+		{name: "exact-relax", block: 0, thcost: 30, maxServers: 0},
+		{name: "blocked-relax", block: 8, thcost: 30, maxServers: 0},
+		// maxServers 2 with ~n/2 servers of demand forces the fully
+		// relaxed overcommit branch.
+		{name: "exact-overcommit", block: 0, thcost: 1.15, maxServers: 2},
+		{name: "blocked-overcommit", block: 8, thcost: 1.15, maxServers: 2},
+		{name: "exact-windows", block: 0, thcost: 1.15, windows: true},
+		{name: "exact-matrix", block: 0, thcost: 1.15, matrix: true},
+		{name: "blocked-matrix", block: 16, thcost: 1.15, matrix: true},
+	}
+	spec := spec8()
+	for _, v := range variants {
+		for _, par := range []int{2, 4, 8} {
+			for seed := int64(1); seed <= 3; seed++ {
+				n := 40 + int(seed)*37
+				reqs := randomReqs(n, seed, v.windows)
+				cfg := DefaultConfig()
+				cfg.Block = v.block
+				cfg.THCost = v.thcost
+				maxServers := v.maxServers
+				if maxServers == 0 {
+					maxServers = n
+				}
+				serial := &Allocator{Config: cfg}
+				cfgPar := cfg
+				cfgPar.Parallel = par
+				parallel := &Allocator{Config: cfgPar}
+				if v.matrix {
+					ms, mp := NewCostMatrix(n, 1), NewCostMatrix(n, 1)
+					mp.SetParallel(par)
+					rng := rand.New(rand.NewSource(seed * 11))
+					sample := make([]float64, n)
+					for k := 0; k < 40; k++ {
+						for i := range sample {
+							sample[i] = rng.Float64() * 4
+						}
+						ms.Add(sample)
+						mp.Add(sample)
+					}
+					serial.Matrix, parallel.Matrix = ms, mp
+				} else if !v.windows {
+					serial.CostFn, parallel.CostFn = SyntheticPairCost, SyntheticPairCost
+				}
+				ps, err := serial.Place(reqs, spec, maxServers)
+				if err != nil {
+					t.Fatalf("%s serial: %v", v.name, err)
+				}
+				pp, err := parallel.Place(reqs, spec, maxServers)
+				if err != nil {
+					t.Fatalf("%s parallel=%d: %v", v.name, par, err)
+				}
+				samePlacement(t, v.name, ps, pp)
+				// Scratch reuse must not leak state between calls: a
+				// second parallel placement of the same input must
+				// reproduce itself.
+				pp2, err := parallel.Place(reqs, spec, maxServers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				samePlacement(t, v.name+"/rerun", pp, pp2)
+			}
+		}
+	}
+}
+
+// TestCostMatrixParallelMatchesSerial pins that sharded pair updates
+// produce bit-identical statistics: every Cost(i,j) and Ref(i) of a
+// parallel-fed matrix equals the serial one to the last bit, for both peak
+// and P²-percentile references.
+func TestCostMatrixParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	for _, pctl := range []float64{1, 0.95} {
+		for _, par := range []int{2, 4, 8} {
+			const n = 23
+			ms, mp := NewCostMatrix(n, pctl), NewCostMatrix(n, pctl)
+			mp.SetParallel(par)
+			rng := rand.New(rand.NewSource(42))
+			sample := make([]float64, n)
+			for k := 0; k < 200; k++ {
+				for i := range sample {
+					sample[i] = rng.Float64() * 4
+				}
+				ms.Add(sample)
+				mp.Add(sample)
+			}
+			for i := 0; i < n; i++ {
+				if math.Float64bits(ms.Ref(i)) != math.Float64bits(mp.Ref(i)) {
+					t.Fatalf("pctl=%v par=%d: Ref(%d) %v vs %v", pctl, par, i, ms.Ref(i), mp.Ref(i))
+				}
+				for j := i + 1; j < n; j++ {
+					if math.Float64bits(ms.Cost(i, j)) != math.Float64bits(mp.Cost(i, j)) {
+						t.Fatalf("pctl=%v par=%d: Cost(%d,%d) %v vs %v",
+							pctl, par, i, j, ms.Cost(i, j), mp.Cost(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCostFuncFallbackSharedAcrossScorers hammers the flat-slice memo from
+// many goroutines (the shape parallel scorers produce) and checks every
+// result is the pure CostOf value — the atomic slot protocol must neither
+// race nor return torn values. Meaningful under -race.
+func TestCostFuncFallbackSharedAcrossScorers(t *testing.T) {
+	const n = 12
+	reqs := randomReqs(n, 5, true)
+	a := NewAllocator(DefaultConfig())
+	cost := a.costFunc(reqs)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					got := cost((i+off)%n, j)
+					if math.IsNaN(got) {
+						t.Errorf("cost(%d,%d) is NaN", (i+off)%n, j)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			want := CostOf(reqs[i].Window.Samples(), reqs[j].Window.Samples(), 1)
+			if got := cost(i, j); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("cached cost(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}

@@ -4,45 +4,105 @@
 // exceeds the VM's off-peak (e.g. 90th percentile) level, and VMs are
 // clustered so that envelopes within a cluster overlap while envelopes
 // across clusters do not.
+//
+// Envelopes are packed 64 positions per word, so the Jaccard overlap at
+// the heart of clustering is a handful of AND/OR + popcount operations per
+// 64 samples instead of a branch per sample — the clustering benches in
+// this package record the win over the boolean-slice form.
 package envelope
 
 import (
+	"math/bits"
+
 	"repro/internal/trace"
 )
 
+// Envelope is a fixed-length bitset: position i is set where the demand
+// sample exceeded the threshold. The zero Envelope has length 0 and — per
+// the all-false convention below — overlaps everything fully, so VMs
+// without a window land in the first cluster.
+type Envelope struct {
+	bits []uint64
+	n    int
+}
+
+// New returns an all-false envelope of n positions.
+func New(n int) Envelope {
+	return Envelope{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of positions.
+func (e Envelope) Len() int { return e.n }
+
+// Set marks position i.
+func (e Envelope) Set(i int) { e.bits[i>>6] |= 1 << (uint(i) & 63) }
+
+// Bit reports whether position i is marked.
+func (e Envelope) Bit(i int) bool { return e.bits[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Clone returns an independent copy.
+func (e Envelope) Clone() Envelope {
+	return Envelope{bits: append([]uint64(nil), e.bits...), n: e.n}
+}
+
+// FromBools packs a boolean-slice envelope (the pre-bitset representation,
+// kept as the conversion boundary for callers and tests).
+func FromBools(bs []bool) Envelope {
+	e := New(len(bs))
+	for i, b := range bs {
+		if b {
+			e.Set(i)
+		}
+	}
+	return e
+}
+
+// Bools unpacks the envelope into a boolean slice.
+func (e Envelope) Bools() []bool {
+	out := make([]bool, e.n)
+	for i := range out {
+		out[i] = e.Bit(i)
+	}
+	return out
+}
+
 // Extract returns the binary envelope of a series against a threshold:
-// true where the sample exceeds the threshold.
-func Extract(s *trace.Series, threshold float64) []bool {
-	env := make([]bool, s.Len())
-	for i := range env {
-		env[i] = s.At(i) > threshold
+// set where the sample exceeds the threshold.
+func Extract(s *trace.Series, threshold float64) Envelope {
+	env := New(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		if s.At(i) > threshold {
+			env.Set(i)
+		}
 	}
 	return env
 }
 
 // ExtractOffPeak extracts the envelope against the series' own pctl-th
 // percentile, the form PCP uses.
-func ExtractOffPeak(s *trace.Series, pctl float64) []bool {
+func ExtractOffPeak(s *trace.Series, pctl float64) Envelope {
 	return Extract(s, s.Percentile(pctl))
 }
 
-// Overlap returns the Jaccard overlap of two envelopes: the fraction of
-// positions marked in either envelope that are marked in both. Two
-// all-false envelopes overlap fully (1) by convention — VMs that never
-// exceed their off-peak are indistinguishable to PCP.
-func Overlap(a, b []bool) float64 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
+// Overlap returns the Jaccard overlap of two envelopes over their common
+// prefix: the fraction of positions marked in either envelope that are
+// marked in both. Two all-false envelopes overlap fully (1) by convention —
+// VMs that never exceed their off-peak are indistinguishable to PCP.
+func Overlap(a, b Envelope) float64 {
+	n := a.n
+	if b.n < n {
+		n = b.n
 	}
+	words := n >> 6
 	both, either := 0, 0
-	for i := 0; i < n; i++ {
-		if a[i] || b[i] {
-			either++
-			if a[i] && b[i] {
-				both++
-			}
-		}
+	for w := 0; w < words; w++ {
+		both += bits.OnesCount64(a.bits[w] & b.bits[w])
+		either += bits.OnesCount64(a.bits[w] | b.bits[w])
+	}
+	if tail := uint(n & 63); tail != 0 {
+		mask := uint64(1)<<tail - 1
+		both += bits.OnesCount64(a.bits[words] & b.bits[words] & mask)
+		either += bits.OnesCount64((a.bits[words] | b.bits[words]) & mask)
 	}
 	if either == 0 {
 		return 1
@@ -58,9 +118,9 @@ func Overlap(a, b []bool) float64 {
 // With the fast-changing, strongly synchronized envelopes of scale-out
 // workloads every pair overlaps, the result collapses to one cluster, and —
 // as the paper observes in Section V-B — PCP degenerates to plain BFD.
-func Cluster(envs [][]bool, maxOverlap float64) (assign []int, clusters int) {
+func Cluster(envs []Envelope, maxOverlap float64) (assign []int, clusters int) {
 	assign = make([]int, len(envs))
-	var unions [][]bool
+	var unions []Envelope
 	for i, env := range envs {
 		placed := false
 		for c, u := range unions {
@@ -73,19 +133,24 @@ func Cluster(envs [][]bool, maxOverlap float64) (assign []int, clusters int) {
 		}
 		if !placed {
 			assign[i] = len(unions)
-			unions = append(unions, append([]bool(nil), env...))
+			unions = append(unions, env.Clone())
 		}
 	}
 	return assign, len(unions)
 }
 
-// merge ORs src into dst in place over the common prefix.
-func merge(dst, src []bool) {
-	n := len(dst)
-	if len(src) < n {
-		n = len(src)
+// merge ORs src into dst in place over the common prefix; positions past
+// dst's length stay clear so dst's length is unchanged.
+func merge(dst, src Envelope) {
+	n := dst.n
+	if src.n < n {
+		n = src.n
 	}
-	for i := 0; i < n; i++ {
-		dst[i] = dst[i] || src[i]
+	words := n >> 6
+	for w := 0; w < words; w++ {
+		dst.bits[w] |= src.bits[w]
+	}
+	if tail := uint(n & 63); tail != 0 {
+		dst.bits[words] |= src.bits[words] & (uint64(1)<<tail - 1)
 	}
 }

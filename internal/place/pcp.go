@@ -60,13 +60,13 @@ func (p PCP) Place(reqs []model.Request, spec model.ServerSpec, maxServers int) 
 		return nil, err
 	}
 
-	envs := make([][]bool, len(reqs))
+	envs := make([]envelope.Envelope, len(reqs))
 	for i, r := range reqs {
 		if r.Window != nil && r.Window.Len() > 0 {
 			envs[i] = envelope.ExtractOffPeak(r.Window, p.envelopePctl())
-		} else {
-			envs[i] = nil // indistinguishable; lands in the first cluster
 		}
+		// Otherwise the zero Envelope: indistinguishable; lands in the
+		// first cluster.
 	}
 	clusterOf, clusters := envelope.Cluster(envs, p.maxOverlap())
 

@@ -98,15 +98,32 @@ func init() {
 		}
 		cfg.THCost = b.Param("thcost", cfg.THCost)
 		cfg.Alpha = b.Param("alpha", cfg.Alpha)
-		// alloc_block bounds each server fill's candidate set (0 = exact
-		// Fig.-2 semantics) — the sub-quadratic mode for 10k-VM scenarios.
-		if blk := b.Param("alloc_block", 0); blk != 0 {
-			if blk != math.Trunc(blk) || blk < 1 {
-				return nil, fmt.Errorf("dcsim: param %q must be a positive integer, got %v", "alloc_block", blk)
-			}
-			cfg.Block = int(blk)
+		// alloc_block bounds each server fill's candidate set. Blocked
+		// evaluation is the default (core.DefaultBlock, the measured
+		// sweet spot — identical placements at the paper's scale, within
+		// ~1% active servers at 1k-2k VMs, sub-quadratic at 10k+);
+		// alloc_block=0 restores the exact Fig.-2 semantics at any scale.
+		blk := b.Param("alloc_block", float64(cfg.Block))
+		if blk != math.Trunc(blk) || blk < 0 {
+			return nil, fmt.Errorf("dcsim: param %q must be a non-negative integer (0 = exact evaluation), got %v", "alloc_block", blk)
 		}
-		return &core.Allocator{Config: cfg, Matrix: b.Matrix()}, nil
+		cfg.Block = int(blk)
+		// alloc_parallel fans the per-admission candidate scoring and the
+		// streaming matrix's pair updates out over that many workers
+		// (0 or 1 = serial). Placements and statistics are byte-identical
+		// to serial execution.
+		par := b.Param("alloc_parallel", 0)
+		if par != math.Trunc(par) || par < 0 {
+			return nil, fmt.Errorf("dcsim: param %q must be a non-negative integer worker count, got %v", "alloc_parallel", par)
+		}
+		cfg.Parallel = int(par)
+		matrix := b.Matrix()
+		if cfg.Parallel > 1 {
+			if sp, ok := matrix.(interface{ SetParallel(int) }); ok {
+				sp.SetParallel(cfg.Parallel)
+			}
+		}
+		return &core.Allocator{Config: cfg, Matrix: matrix}, nil
 	}
 	RegisterPolicy("corr-aware", corrAware)
 	RegisterPolicy("corr", corrAware)

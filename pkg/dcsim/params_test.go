@@ -2,6 +2,7 @@ package dcsim
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -61,6 +62,52 @@ func TestCountParamRejectsFractions(t *testing.T) {
 	sc = New(append(smallOpts(), WithPredictor("max-of"), WithParam("maxof_k", 0))...)
 	if _, err := Run(context.Background(), sc); err == nil {
 		t.Fatal("non-positive count param should fail")
+	}
+}
+
+func TestAllocBlockParam(t *testing.T) {
+	// alloc_block=0 must select exact Fig.-2 evaluation (a valid value,
+	// not an error), and fractional or negative blocks must be rejected.
+	if _, err := Run(context.Background(), New(append(smallOpts(), WithParam("alloc_block", 0))...)); err != nil {
+		t.Fatalf("alloc_block=0 (exact mode): %v", err)
+	}
+	for _, bad := range []float64{2.5, -1} {
+		sc := New(append(smallOpts(), WithParam("alloc_block", bad))...)
+		if _, err := Run(context.Background(), sc); err == nil || !strings.Contains(err.Error(), "alloc_block") {
+			t.Fatalf("alloc_block=%v: err = %v, want rejection", bad, err)
+		}
+	}
+}
+
+func TestAllocParallelParamByteIdentical(t *testing.T) {
+	// The parallel knob must be behavior-invariant: a run with
+	// alloc_parallel=4 must produce a result deeply equal to the serial
+	// run (the engine's equivalence tests pin per-placement bytes; this
+	// pins the knob's plumbing through the registry).
+	serial, err := Run(context.Background(), New(smallOpts()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), New(append(smallOpts(), WithParam("alloc_parallel", 4))...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(pj) {
+		t.Fatalf("alloc_parallel=4 changed the result:\nserial: %s\nparallel: %s", sj, pj)
+	}
+	for _, bad := range []float64{1.5, -2} {
+		sc := New(append(smallOpts(), WithParam("alloc_parallel", bad))...)
+		if _, err := Run(context.Background(), sc); err == nil || !strings.Contains(err.Error(), "alloc_parallel") {
+			t.Fatalf("alloc_parallel=%v: err = %v, want rejection", bad, err)
+		}
 	}
 }
 

@@ -55,18 +55,22 @@ def gate(label, b, c):
 
 failures = 0
 if "rows" in cur:
-    # BENCH_alloc.json: gate the summed ns/op over the (series, vms) rows
-    # present in both records — individual micro-rows at -benchtime 2x
-    # are too noisy to gate one by one (run-to-run swings near 2x have
-    # been observed on the small rows), but the sum is dominated by the
-    # big fills, where a real allocator regression shows. Per-row deltas
-    # are printed for the logs; rows only one side has are a changed
-    # benchmark shape and drop out of the sum on both sides.
-    base_rows = {(r["series"], r["vms"]): r["ns_per_op"]
+    # BENCH_alloc.json: gate each phase's summed ns/op separately over the
+    # (phase, series, vms) rows present in both records — individual
+    # micro-rows at -benchtime 2x are too noisy to gate one by one
+    # (run-to-run swings near 2x have been observed on the small rows),
+    # but per-phase sums are dominated by the big fills, where a real
+    # regression shows. Gating per phase (scale trajectory, matrix-update,
+    # fill-scoring, placement-total) means one phase cannot silently
+    # regress while another improves enough to hide it in a global sum.
+    # Per-row deltas are printed for the logs; rows only one side has are
+    # a changed benchmark shape and drop out of both sums; phases only one
+    # side has are a new baseline, not a regression.
+    base_rows = {(r.get("phase", "scale"), r["series"], r["vms"]): r["ns_per_op"]
                  for r in base.get("rows", [])}
-    base_sum = cur_sum = 0.0
+    sums = {}
     for r in cur["rows"]:
-        key = (r["series"], r["vms"])
+        key = (r.get("phase", "scale"), r["series"], r["vms"])
         b, c = base_rows.get(key), r["ns_per_op"]
         if b is None:
             print(f"bench_compare: no baseline row for {key}; skipping it")
@@ -74,12 +78,15 @@ if "rows" in cur:
         if b <= 0 or c <= 0:
             continue
         delta_pct = (c - b) / b * 100.0
-        print(f"bench_compare: alloc {key[0]}/vms={key[1]}: "
+        print(f"bench_compare: alloc {key[0]}/{key[1]}/vms={key[2]}: "
               f"baseline {b:.4g} -> current {c:.4g} ({delta_pct:+.1f}%, informational)")
-        base_sum += b
-        cur_sum += c
-    if base_sum > 0 and cur_sum > 0:
-        failures += gate("alloc total wall time (summed ns/op)", base_sum, cur_sum)
+        bs, cs = sums.get(key[0], (0.0, 0.0))
+        sums[key[0]] = (bs + b, cs + c)
+    if sums:
+        for phase in sorted(sums):
+            bs, cs = sums[phase]
+            if bs > 0 and cs > 0:
+                failures += gate(f"alloc phase {phase!r} wall time (summed ns/op)", bs, cs)
     else:
         print("bench_compare: no comparable allocator rows; skipping")
 else:
