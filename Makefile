@@ -7,9 +7,9 @@ STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: ci lint fmt vet staticcheck staticcheck-version build test race \
 	bench bench-sweep bench-alloc bench-compare leakcheck smoke-service \
-	smoke-fleet
+	smoke-fleet smoke-objstore
 
-ci: lint build test race smoke-service smoke-fleet bench-compare
+ci: lint build test race smoke-service smoke-fleet smoke-objstore bench-compare
 
 # lint is the static gate CI's lint job runs: formatting, go vet,
 # staticcheck, and the public-API leak check.
@@ -75,6 +75,14 @@ smoke-service:
 # dcsim_fleet_runs_stolen_total, and clean SIGINT exits all around.
 smoke-fleet:
 	./scripts/fleet_smoke.sh
+
+# smoke-objstore drives the diskless workload path end to end: a recorded
+# trace directory behind `dcsim objserve` (with injected 503s), swept as
+# "trace-obj" through a coordinator and two diskless workers, CSV report
+# byte-identical to a local trace-dir sweep, and a warm second pass served
+# entirely from the chunk cache (0 fetches).
+smoke-objstore:
+	./scripts/objstore_smoke.sh
 
 # bench-alloc records the allocator scaling trajectory (exact Fig.-2
 # semantics up to 2k VMs, blocked evaluation at 1k/2k/10k) plus the

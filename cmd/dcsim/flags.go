@@ -1,0 +1,36 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/pkg/dcsim"
+)
+
+// kvFlag collects a repeatable key=value flag (-wopt cache_mb=64 -wopt
+// retries=2).
+type kvFlag []string
+
+// String implements flag.Value.
+func (f *kvFlag) String() string { return strings.Join(*f, ",") }
+
+// Set implements flag.Value.
+func (f *kvFlag) Set(s string) error {
+	*f = append(*f, s)
+	return nil
+}
+
+// applyWorkloadOptions parses each key=value pair onto the workload's
+// kind-scoped options. Which keys are legal is the selected backend's
+// call — validation rejects unread keys later — but the pair shape is
+// checked here so a dropped "=" fails at the flag, not as a weird key.
+func applyWorkloadOptions(w *dcsim.Workload, pairs []string) error {
+	for _, kv := range pairs {
+		key, value, ok := strings.Cut(kv, "=")
+		if !ok || key == "" {
+			return fmt.Errorf("-wopt needs key=value, got %q", kv)
+		}
+		w.SetOption(key, value)
+	}
+	return nil
+}

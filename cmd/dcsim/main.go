@@ -21,6 +21,12 @@
 // simulation service: a job queue accepting sweep grids over HTTP,
 // Server-Sent-Events progress streaming, and an OpenMetrics exporter (see
 // cmd/dcsim/serve.go and pkg/dcsim/service).
+//
+// The objserve subcommand ("dcsim objserve -dir recording") serves a
+// recorded trace directory as a minimal static object store — strong
+// ETags, range reads, optional transient-fault injection — which is the
+// protocol surface the diskless "trace-obj" workload kind consumes (see
+// cmd/dcsim/objserve.go).
 package main
 
 import (
@@ -50,11 +56,16 @@ func main() {
 		serveMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "objserve" {
+		objserveMain(os.Args[2:])
+		return
+	}
 	def := dcsim.DefaultScenario()
 	var (
 		scenario  = flag.String("scenario", "", "JSON scenario file (explicitly set flags override it)")
 		workload  = flag.String("workload", def.Workload.Kind, "workload kind: "+strings.Join(dcsim.WorkloadKinds(), ", "))
 		tracedir  = flag.String("tracedir", "", "recorded trace directory for the trace-dir workload kind (see tracegen -dir)")
+		objstore  = flag.String("objstore", "", "http(s) bucket/prefix URL for the trace-obj workload kind (see dcsim objserve)")
 		policy    = flag.String("policy", def.Policy, "placement policy: "+strings.Join(dcsim.Policies(), ", "))
 		governor  = flag.String("governor", "", "frequency governor: "+strings.Join(dcsim.Governors(), ", ")+" (default pairs with the policy)")
 		predictor = flag.String("predictor", def.Predictor, "predictor: "+strings.Join(dcsim.Predictors(), ", "))
@@ -68,6 +79,8 @@ func main() {
 		periods   = flag.Bool("periods", false, "print the per-period breakdown")
 		progress  = flag.Bool("progress", false, "stream per-period metrics while running")
 	)
+	var wopts kvFlag
+	flag.Var(&wopts, "wopt", "workload backend option key=value, repeatable (e.g. -wopt cache_mb=64; see the kind's docs)")
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -87,6 +100,9 @@ func main() {
 	if use("workload") {
 		sc.Workload.Kind = *workload
 	}
+	if set["tracedir"] && set["objstore"] {
+		log.Fatal("-tracedir and -objstore are mutually exclusive (one recording location)")
+	}
 	if set["tracedir"] {
 		sc.Workload.Path = *tracedir
 		if !set["workload"] && sc.Workload.Kind == def.Workload.Kind {
@@ -94,6 +110,16 @@ func main() {
 			// flags for the common case would just invite mismatches.
 			sc.Workload.Kind = "trace-dir"
 		}
+	}
+	if set["objstore"] {
+		// Same rule as -tracedir: the object-store URL implies its kind.
+		sc.Workload.Path = *objstore
+		if !set["workload"] && sc.Workload.Kind == def.Workload.Kind {
+			sc.Workload.Kind = "trace-obj"
+		}
+	}
+	if err := applyWorkloadOptions(&sc.Workload, wopts); err != nil {
+		log.Fatal(err)
 	}
 	if use("policy") {
 		sc.Policy = *policy

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/pkg/dcsim"
 	"repro/pkg/dcsim/sweep"
 	"repro/pkg/dcsim/sweep/fleet"
 	"repro/pkg/dcsim/sweep/remote"
@@ -33,6 +34,8 @@ func sweepMain(args []string) {
 		gridPath  = fs.String("grid", "", "JSON grid file (required; see examples/grids/)")
 		workload  = fs.String("workload", "", "override the grid base's workload kind (see dcsim -help for kinds)")
 		tracedir  = fs.String("tracedir", "", "recorded trace directory for the trace-dir workload kind; implies -workload trace-dir when the base kind is unset or the default")
+		objstore  = fs.String("objstore", "", "http(s) bucket/prefix URL for the trace-obj workload kind; implies -workload trace-obj when the base kind is unset or the default")
+		verbose   = fs.Bool("v", false, "print the object-store fetch/cache summary after the sweep")
 		workers   = fs.Int("workers", 0, "concurrent runs (default GOMAXPROCS, or the remote capacity with -remote; aggregates are identical at any count)")
 		outDir    = fs.String("out", ".", "directory the JSON and CSV reports are written to")
 		progress  = fs.Bool("progress", false, "print each cell's aggregate as it completes")
@@ -46,6 +49,8 @@ func sweepMain(args []string) {
 		inflight  = fs.Int("inflight", 4, "with -remote/-fleet: max in-flight cells per worker")
 		nocheck   = fs.Bool("no-preflight", false, "with -remote: skip the worker health + capability preflight")
 	)
+	var wopts kvFlag
+	fs.Var(&wopts, "wopt", "workload backend option key=value, repeatable (e.g. -wopt cache_mb=64; see the kind's docs)")
 	fs.Parse(args)
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -87,6 +92,9 @@ func sweepMain(args []string) {
 	if *workload != "" {
 		g.Base.Workload.Kind = *workload
 	}
+	if *tracedir != "" && *objstore != "" {
+		log.Fatal("sweep: -tracedir and -objstore are mutually exclusive (one recording location)")
+	}
 	if *tracedir != "" {
 		g.Base.Workload.Path = *tracedir
 		// A trace directory implies the trace-dir kind unless the grid or
@@ -96,6 +104,16 @@ func sweepMain(args []string) {
 		if *workload == "" && (g.Base.Workload.Kind == "" || g.Base.Workload.Kind == "datacenter") {
 			g.Base.Workload.Kind = "trace-dir"
 		}
+	}
+	if *objstore != "" {
+		// Same implication rule: the object-store URL selects its kind.
+		g.Base.Workload.Path = *objstore
+		if *workload == "" && (g.Base.Workload.Kind == "" || g.Base.Workload.Kind == "datacenter") {
+			g.Base.Workload.Kind = "trace-obj"
+		}
+	}
+	if err := applyWorkloadOptions(&g.Base.Workload, wopts); err != nil {
+		log.Fatal("sweep: ", err)
 	}
 	if err := g.Validate(); err != nil {
 		log.Fatal(err)
@@ -213,6 +231,14 @@ func sweepMain(args []string) {
 		fmt.Print(res.Table())
 		fmt.Printf("%d runs on %d workers in %.2fs (%.1f runs/s)\nreports: %s, %s\n",
 			runs, opts.Workers, elapsed.Seconds(), float64(runs)/elapsed.Seconds(), jsonPath, csvPath)
+	}
+	if *verbose {
+		// Object-store fetch/cache totals for THIS process — with -remote or
+		// -fleet the chunk traffic happens on the workers, whose totals the
+		// metrics exporter surfaces instead.
+		st := dcsim.WorkloadFetchStats()
+		fmt.Printf("objstore: %d chunk fetches, %d cache hits, %d evictions, %d retries\n",
+			st.ChunkFetches, st.CacheHits, st.CacheEvictions, st.FetchRetries)
 	}
 
 	if *bench != "" {

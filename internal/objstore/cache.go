@@ -1,0 +1,120 @@
+package objstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Cache is a bounded on-disk chunk cache. Entries are content-addressed —
+// one file per (URL, ETag) identity hash — so a warm cache is valid by
+// construction: a replaced object hashes to a new entry and the stale one
+// ages out. Last use is recorded as the file's mtime, which makes the LRU
+// order survive process restarts; a sweep's second run (or its tenth
+// worker) reuses what the first fetched. Eviction trims oldest-first once
+// the byte budget is exceeded. All methods are safe for concurrent use
+// across goroutines and across processes sharing the directory, because
+// every write is a temp-file rename and a torn reader simply refetches.
+type Cache struct {
+	dir    string
+	budget int64
+}
+
+// entrySuffix marks cache files, so eviction never deletes a stray file a
+// user parked in the cache directory.
+const entrySuffix = ".chunk"
+
+// OpenCache creates (if needed) and returns a cache rooted at dir holding
+// at most budget bytes; budget <= 0 means unbounded.
+func OpenCache(dir string, budget int64) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: open cache: %w", err)
+	}
+	return &Cache{dir: dir, budget: budget}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Get returns the cached bytes for key and marks the entry recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	path := c.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	return data, true
+}
+
+// Put stores data under key and evicts oldest entries beyond the budget.
+// Failures are deliberately silent: the cache is an optimisation, and a
+// full or read-only disk must not fail the fetch that already succeeded.
+func (c *Cache) Put(key string, data []byte) {
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	c.evict()
+}
+
+// path maps a key to its entry file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+entrySuffix)
+}
+
+// evict removes oldest-used entries until the cache fits its budget.
+func (c *Cache) evict() {
+	if c.budget <= 0 {
+		return
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var all []entry
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), entrySuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		all = append(all, entry{filepath.Join(c.dir, e.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= c.budget {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	for _, e := range all {
+		if total <= c.budget {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			stats.evictions.Add(1)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package objstore
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/tracedir"
+	"repro/pkg/dcsim/model"
+)
+
+// Option keys the "trace-obj" kind reads; anything else is rejected the
+// same way an unread scenario param is.
+const (
+	// OptCacheDir overrides the local chunk-cache directory ("" keeps the
+	// default under the OS temp dir; "off" disables caching).
+	OptCacheDir = "cache_dir"
+	// OptCacheMB bounds the chunk cache in mebibytes (0 = unbounded).
+	OptCacheMB = "cache_mb"
+	// OptFetchTimeout bounds each HTTP attempt (a Go duration, e.g. "10s").
+	OptFetchTimeout = "fetch_timeout"
+	// OptRetries sets the attempt budget per HTTP operation (>= 1).
+	OptRetries = "retries"
+)
+
+// Default option values.
+const (
+	DefaultCacheMB = 256
+)
+
+// DefaultCacheDir is the chunk cache used when OptCacheDir is unset:
+// per-user under the OS temp dir, warm across sweep runs on one machine.
+func DefaultCacheDir() string {
+	return filepath.Join(os.TempDir(), "dcsim-objcache")
+}
+
+// Source is the "trace-obj" workload backend: Workload.Path is an http(s)
+// bucket/prefix URL holding the recorded-trace manifest+chunks layout, and
+// everything past the transport — manifest validation, chunk assembly,
+// coarse-grid derivation — is the shared tracedir path, so the datasets
+// (and therefore sweep results) are byte-identical to reading the same
+// recording from a local directory.
+type Source struct{}
+
+// SeedInvariant reports that recorded traces ignore Workload.Seed — the
+// same capability trace-dir declares, making replicas>1 a config error.
+func (Source) SeedInvariant() bool { return true }
+
+// Check implements model.WorkloadSource: it validates the URL and options
+// without touching the network, so preflight stays cheap and offline.
+func (Source) Check(w model.Workload) error {
+	_, err := configure(w)
+	return err
+}
+
+// Traces implements model.WorkloadSource.
+func (Source) Traces(w model.Workload) (*model.Dataset, error) {
+	f, err := configure(w)
+	if err != nil {
+		return nil, err
+	}
+	return tracedir.TracesFrom(context.Background(), f, w)
+}
+
+// configure validates the workload and builds its Fetcher.
+func configure(w model.Workload) (*Fetcher, error) {
+	if w.Path == "" {
+		return nil, fmt.Errorf("objstore: workload kind %q needs a path (the http(s) bucket/prefix URL of the recorded trace)", w.Kind)
+	}
+	u, err := url.Parse(w.Path)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("objstore: workload kind %q needs an http(s) URL path, got %q", w.Kind, w.Path)
+	}
+	if bad := w.UnknownOptions(OptCacheDir, OptCacheMB, OptFetchTimeout, OptRetries); len(bad) > 0 {
+		return nil, fmt.Errorf("objstore: workload kind %q does not read option(s) %s (known: %s)",
+			w.Kind, strings.Join(bad, ", "),
+			strings.Join([]string{OptCacheDir, OptCacheMB, OptFetchTimeout, OptRetries}, ", "))
+	}
+
+	f := NewFetcher(w.Path)
+
+	cacheDir := w.Option(OptCacheDir)
+	if cacheDir == "" {
+		cacheDir = DefaultCacheDir()
+	}
+	cacheMB := int64(DefaultCacheMB)
+	if s := w.Option(OptCacheMB); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("objstore: option %q must be a non-negative integer mebibyte budget (0 = unbounded), got %q", OptCacheMB, s)
+		}
+		cacheMB = n
+	}
+	if cacheDir != "off" {
+		cache, err := OpenCache(cacheDir, cacheMB<<20)
+		if err != nil {
+			return nil, err
+		}
+		f.Cache = cache
+	}
+
+	if s := w.Option(OptFetchTimeout); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("objstore: option %q must be a positive duration (e.g. \"10s\"), got %q", OptFetchTimeout, s)
+		}
+		f.Timeout = d
+	}
+	if s := w.Option(OptRetries); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("objstore: option %q must be an attempt budget of at least 1, got %q", OptRetries, s)
+		}
+		f.Attempts = n
+	}
+	return f, nil
+}

@@ -1,21 +1,34 @@
-// Package tracedir implements the "trace-dir" workload backend: a
-// directory of recorded demand-trace CSVs plus a manifest.json describing
-// them. It is the first file-backed model.WorkloadSource — the seam that
-// lets simulations and sweeps chew through recorded production traces
-// instead of synthesizing locally.
+// Package tracedir implements the recorded-trace workload stack: a
+// manifest.json naming every VM in canonical order plus chunked demand-
+// trace CSVs, parsed, validated, and assembled into a model.Dataset. It is
+// the shared core of every recorded workload backend — the "trace-dir"
+// kind it implements directly, and the object-store "trace-obj" kind
+// (internal/objstore), which plugs a different transport into the same
+// assembly path.
+//
+// The transport seam is ChunkFetcher: fetch the manifest, fetch a named
+// chunk, and describe where an object lives for error text. Everything
+// after the bytes arrive — manifest validation, column-order checks,
+// interval and sample-count verification, coarse-granularity derivation —
+// is ChunkFetcher-independent and runs verbatim for every backend, so a
+// recording streamed from an object store reproduces a local directory
+// read bit for bit.
 //
 // Layout: one manifest.json naming every VM in canonical order, the
 // sampling interval, the horizon, and the CSV files (each holding a chunk
-// of VM columns in WriteCSV format). Files are loaded one at a time, so
+// of VM columns in WriteCSV format). Chunks are loaded one at a time, so
 // memory stays bounded by one chunk plus the assembled dataset, and a
 // sweep worker only pays for the traces a scenario actually names.
 package tracedir
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/trace"
@@ -146,20 +159,69 @@ func (m *Manifest) CheckWorkload(w model.Workload) error {
 	return nil
 }
 
-// ReadManifest loads and validates dir's manifest.
-func ReadManifest(dir string) (*Manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+// ChunkFetcher is the transport seam of the recorded-trace stack: how the
+// manifest and the chunk CSVs named by it are brought into memory. The
+// parse/validate/assemble path above the seam (ReadManifestFrom,
+// TracesFrom) is transport-independent — DirFetcher reads a local
+// directory through the OS, internal/objstore range-reads an HTTP object
+// store — so every backend reproduces the same dataset from the same
+// recorded bytes.
+//
+// Implementations return their transport's natural errors (an *os.PathError,
+// an HTTP status error); the shared path wraps them in the package's
+// long-standing "tracedir:" error shape. A fetcher with a notion of object
+// identity (ETags) must fail deterministically when an object changes
+// between fetches instead of silently mixing versions.
+type ChunkFetcher interface {
+	// Manifest fetches the raw manifest bytes.
+	Manifest(ctx context.Context) ([]byte, error)
+	// Chunk fetches one chunk file's raw bytes by its manifest name.
+	Chunk(ctx context.Context, name string) ([]byte, error)
+	// Where describes the named object's location for error text — a
+	// joined filesystem path, a URL.
+	Where(name string) string
+}
+
+// DirFetcher is the filesystem ChunkFetcher: objects are files inside Dir.
+// It is the transport behind the "trace-dir" workload kind.
+type DirFetcher struct {
+	// Dir is the recorded trace directory (holding ManifestName).
+	Dir string
+}
+
+// Manifest implements ChunkFetcher.
+func (f DirFetcher) Manifest(context.Context) ([]byte, error) {
+	return os.ReadFile(filepath.Join(f.Dir, ManifestName))
+}
+
+// Chunk implements ChunkFetcher.
+func (f DirFetcher) Chunk(_ context.Context, name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(f.Dir, name))
+}
+
+// Where implements ChunkFetcher.
+func (f DirFetcher) Where(name string) string { return filepath.Join(f.Dir, name) }
+
+// ReadManifestFrom fetches, parses, and validates a recording's manifest
+// through the given fetcher.
+func ReadManifestFrom(ctx context.Context, f ChunkFetcher) (*Manifest, error) {
+	data, err := f.Manifest(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("tracedir: %w", err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("tracedir: parse %s: %w", filepath.Join(dir, ManifestName), err)
+		return nil, fmt.Errorf("tracedir: parse %s: %w", f.Where(ManifestName), err)
 	}
 	if err := m.validate(); err != nil {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// ReadManifest loads and validates dir's manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	return ReadManifestFrom(context.Background(), DirFetcher{Dir: dir})
 }
 
 // Write records a dataset's fine traces as a trace directory: chunked CSVs
@@ -245,8 +307,8 @@ func (Source) SeedInvariant() bool { return true }
 // internally consistent, and match the workload's VM count and horizon —
 // all without reading any trace bytes.
 func (Source) Check(w model.Workload) error {
-	if w.Path == "" {
-		return fmt.Errorf("tracedir: workload kind %q needs a path (the recorded trace directory)", w.Kind)
+	if err := checkWorkloadShape(w); err != nil {
+		return err
 	}
 	m, err := ReadManifest(w.Path)
 	if err != nil {
@@ -255,14 +317,38 @@ func (Source) Check(w model.Workload) error {
 	return m.CheckWorkload(w)
 }
 
+// checkWorkloadShape rejects descriptions the filesystem backend cannot
+// serve: no path, or options — the local directory reader has no knobs, so
+// the unread-key contract (model.Workload.Options) rejects every key.
+func checkWorkloadShape(w model.Workload) error {
+	if w.Path == "" {
+		return fmt.Errorf("tracedir: workload kind %q needs a path (the recorded trace directory)", w.Kind)
+	}
+	if bad := w.UnknownOptions(); len(bad) > 0 {
+		return fmt.Errorf("tracedir: workload kind %q reads no options, got %s", w.Kind, strings.Join(bad, ", "))
+	}
+	return nil
+}
+
 // Traces implements model.WorkloadSource: load the recorded fine traces
-// file by file, verify each chunk against the manifest, and derive the
+// chunk by chunk, verify each chunk against the manifest, and derive the
 // coarse granularity by averaging when the manifest records a factor.
 func (Source) Traces(w model.Workload) (*model.Dataset, error) {
-	if w.Path == "" {
-		return nil, fmt.Errorf("tracedir: workload kind %q needs a path (the recorded trace directory)", w.Kind)
+	if err := checkWorkloadShape(w); err != nil {
+		return nil, err
 	}
-	m, err := ReadManifest(w.Path)
+	return TracesFrom(context.Background(), DirFetcher{Dir: w.Path}, w)
+}
+
+// TracesFrom assembles the recording behind the fetcher into a dataset:
+// manifest first (validated internally and against the workload), then the
+// chunks one at a time, each verified against the manifest's column order,
+// interval, and sample count. This is the whole recorded-trace read path
+// above the ChunkFetcher seam — every backend shares it verbatim, so the
+// dataset (and every validation error past the transport) is identical
+// whether the bytes came from a local directory or an object store.
+func TracesFrom(ctx context.Context, f ChunkFetcher, w model.Workload) (*model.Dataset, error) {
+	m, err := ReadManifestFrom(ctx, f)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +367,7 @@ func (Source) Traces(w model.Workload) (*model.Dataset, error) {
 		ds.Group = append([]int(nil), m.Groups...)
 	}
 	for _, entry := range m.Files {
-		names, series, err := readChunk(filepath.Join(w.Path, entry.File))
+		names, series, err := readChunk(ctx, f, entry.File)
 		if err != nil {
 			return nil, err
 		}
@@ -319,16 +405,15 @@ func (Source) Traces(w model.Workload) (*model.Dataset, error) {
 	return ds, nil
 }
 
-// readChunk loads one CSV chunk.
-func readChunk(path string) ([]string, []*trace.Series, error) {
-	f, err := os.Open(path)
+// readChunk fetches and parses one CSV chunk.
+func readChunk(ctx context.Context, f ChunkFetcher, name string) ([]string, []*trace.Series, error) {
+	data, err := f.Chunk(ctx, name)
 	if err != nil {
 		return nil, nil, fmt.Errorf("tracedir: %w", err)
 	}
-	defer f.Close()
-	names, series, err := trace.ReadCSV(f)
+	names, series, err := trace.ReadCSV(bytes.NewReader(data))
 	if err != nil {
-		return nil, nil, fmt.Errorf("tracedir: read %s: %w", path, err)
+		return nil, nil, fmt.Errorf("tracedir: read %s: %w", f.Where(name), err)
 	}
 	return names, series, nil
 }

@@ -8,9 +8,11 @@ package dcsim
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/objstore"
 	"repro/internal/place"
 	"repro/internal/power"
 	"repro/internal/predict"
@@ -43,6 +45,9 @@ type synthSource struct{ uncorrelated bool }
 func (s synthSource) Check(w model.Workload) error {
 	if w.Path != "" {
 		return fmt.Errorf("dcsim: workload kind %q is synthetic and does not read a path (got %q)", w.Kind, w.Path)
+	}
+	if bad := w.UnknownOptions(); len(bad) > 0 {
+		return fmt.Errorf("dcsim: workload kind %q reads no options, got %s", w.Kind, strings.Join(bad, ", "))
 	}
 	if w.VMs < 0 || w.Groups < 0 || w.Hours < 0 {
 		return fmt.Errorf("dcsim: workload kind %q needs non-negative vms/groups/hours (0 = default), got %d/%d/%d",
@@ -83,11 +88,14 @@ func newCostSource(n int, pctl float64) model.CostSource {
 
 func init() {
 	// Workload backends: the two synthetic generators the paper's Setup 2
-	// uses, plus the recorded-trace directory reader. Out-of-tree modules
-	// register theirs exactly like this, against model types alone.
+	// uses, plus the recorded-trace readers — the same manifest+chunks
+	// layout from a local directory or streamed from an HTTP(S) object
+	// store. Out-of-tree modules register theirs exactly like this,
+	// against model types alone.
 	RegisterWorkload("datacenter", synthSource{})
 	RegisterWorkload("uncorrelated", synthSource{uncorrelated: true})
 	RegisterWorkload("trace-dir", tracedir.Source{})
+	RegisterWorkload("trace-obj", objstore.Source{})
 
 	// Placement policies. "corr" is a convenience alias for the paper's
 	// correlation-aware allocator.

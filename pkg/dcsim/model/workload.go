@@ -1,5 +1,7 @@
 package model
 
+import "sort"
+
 // Workload is the serializable description of a VM demand-trace source —
 // the value a Scenario carries and a WorkloadSource consumes. It is the
 // seam workload backends plug into: the built-in kinds synthesize traces
@@ -26,9 +28,74 @@ type Workload struct {
 	// kinds ignore it: a recorded trace is the same at every seed.
 	Seed int64 `json:"seed"`
 	// Path points file-backed kinds at their data (for "trace-dir", the
-	// directory holding manifest.json and the trace CSVs). Synthetic
-	// kinds reject a non-empty Path as a configuration error.
+	// directory holding manifest.json and the trace CSVs; for
+	// "trace-obj", the http(s) bucket/prefix URL the recording is served
+	// under). Synthetic kinds reject a non-empty Path as a configuration
+	// error.
 	Path string `json:"path,omitempty"`
+	// Options carries kind-scoped backend knobs as strings — settings
+	// that shape HOW a backend produces its traces (cache directory,
+	// cache budget, fetch timeout), never WHICH traces it produces: two
+	// workloads differing only in Options must yield sample-identical
+	// datasets, or sweeps mixing them would break determinism.
+	//
+	// The contract mirrors Scenario.Params: a key the selected backend
+	// does not read is a configuration error the backend's Check must
+	// reject (see UnknownOptions), so a typo fails loudly instead of
+	// silently running the default. Backends without knobs reject every
+	// key. Grids sweep options through "workload.opt:<key>" axes.
+	Options map[string]string `json:"options,omitempty"`
+}
+
+// Option returns the named backend option, or "" when unset. Backends
+// distinguishing "unset" from "empty" can consult the map directly.
+func (w Workload) Option(key string) string { return w.Options[key] }
+
+// SetOption sets one backend option, copy-on-write: the options map is
+// never mutated in place, so workloads derived from a shared base (as
+// sweep grid cells are) cannot alias each other's options.
+func (w *Workload) SetOption(key, value string) {
+	opts := make(map[string]string, len(w.Options)+1)
+	for k, v := range w.Options {
+		opts[k] = v
+	}
+	opts[key] = value
+	w.Options = opts
+}
+
+// UnknownOptions returns, sorted, the option keys the workload carries
+// beyond the given known set — the keys a backend's Check must reject to
+// honour the unread-key contract (see Options).
+func (w Workload) UnknownOptions(known ...string) []string {
+	var bad []string
+	for key := range w.Options {
+		ok := false
+		for _, k := range known {
+			if key == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			bad = append(bad, key)
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+// FetchStats is a process's cumulative recorded-trace transfer activity:
+// how many objects its object-store workload backends fetched over the
+// network, how many were served from the local chunk cache instead, how
+// many cache files were evicted to stay under budget, and how many
+// transient fetch failures were retried. The façade exposes a snapshot
+// (dcsim.WorkloadFetchStats), and the service's OpenMetrics endpoint
+// exports the four counters.
+type FetchStats struct {
+	ChunkFetches   uint64
+	CacheHits      uint64
+	CacheEvictions uint64
+	FetchRetries   uint64
 }
 
 // WorkloadSource is one workload backend: it turns a Workload description

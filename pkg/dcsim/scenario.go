@@ -122,6 +122,14 @@ func WithWorkloadKind(kind string) Option { return func(s *Scenario) { s.Workloa
 // its data directory.
 func WithTracePath(path string) Option { return func(s *Scenario) { s.Workload.Path = path } }
 
+// WithWorkloadOption sets one kind-scoped workload backend option (e.g.
+// "cache_dir" for "trace-obj"), copy-on-write like WithParam. A key the
+// selected backend does not read fails validation — the same unread-key
+// contract scenario params follow.
+func WithWorkloadOption(key, value string) Option {
+	return func(s *Scenario) { s.Workload.SetOption(key, value) }
+}
+
 // WithVMs sets the workload's VM count.
 func WithVMs(n int) Option { return func(s *Scenario) { s.Workload.VMs = n } }
 
@@ -250,6 +258,13 @@ func (s Scenario) Validate() error {
 		}
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("dcsim: param %q is %v", name, v)
+		}
+	}
+	// Option values are backend-validated (CheckWorkload); only the keys
+	// have a structural rule.
+	for key := range s.Workload.Options {
+		if key == "" {
+			return errors.New("dcsim: empty workload option key")
 		}
 	}
 	return nil

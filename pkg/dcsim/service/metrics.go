@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/pkg/dcsim"
 )
 
 // metrics is the Manager's instrumentation: job lifecycle counters, queue
@@ -101,6 +103,11 @@ func (m *Manager) WriteOpenMetrics(w io.Writer) error {
 	counter("dcsim_runs", "Cell-replica simulation runs completed across all jobs.", mm.runs.Load())
 	gauge("dcsim_queue_depth", "Jobs waiting for a run slot.", mm.queueDepth.Load())
 	gauge("dcsim_jobs_in_flight", "Jobs currently running.", mm.jobsInFlight.Load())
+	fs := dcsim.WorkloadFetchStats()
+	counter("dcsim_workload_chunk_fetches", "Recorded-trace chunks fetched from an object store.", fs.ChunkFetches)
+	counter("dcsim_workload_cache_hits", "Object-store chunk reads served from the local cache.", fs.CacheHits)
+	counter("dcsim_workload_cache_evictions", "Chunk-cache entries evicted to stay within the byte budget.", fs.CacheEvictions)
+	counter("dcsim_workload_fetch_retries", "Transient object-store faults retried with backoff.", fs.FetchRetries)
 	if m.cfg.Fleet != nil {
 		s := m.cfg.Fleet.Stats()
 		fmt.Fprintf(ew, "# TYPE dcsim_fleet_workers gauge\n# HELP dcsim_fleet_workers Fleet members by state.\n")

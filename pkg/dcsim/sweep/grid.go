@@ -249,7 +249,8 @@ func (g Grid) Runs() (int, error) {
 
 // Apply sets one scenario field by its grid-axis name. String fields take
 // strings, numeric fields JSON numbers (integral where the field is a
-// count), boolean fields bools; "param:<name>" writes the params map
+// count), boolean fields bools; "param:<name>" writes the params map and
+// "workload.opt:<key>" the workload's kind-scoped options map, both
 // copy-on-write so cells sharing a base never alias.
 func Apply(sc *dcsim.Scenario, field string, v any) error {
 	if name, ok := strings.CutPrefix(field, "param:"); ok {
@@ -261,6 +262,17 @@ func Apply(sc *dcsim.Scenario, field string, v any) error {
 			return fmt.Errorf("sweep: empty param name in axis %q", field)
 		}
 		sc.SetParam(name, f)
+		return nil
+	}
+	if key, ok := strings.CutPrefix(field, "workload.opt:"); ok {
+		s, err := wantString(field, v)
+		if err != nil {
+			return err
+		}
+		if key == "" {
+			return fmt.Errorf("sweep: empty workload option key in axis %q", field)
+		}
+		sc.Workload.SetOption(key, s)
 		return nil
 	}
 	switch field {
@@ -373,7 +385,7 @@ func Apply(sc *dcsim.Scenario, field string, v any) error {
 		}
 		sc.Oracle = b
 	default:
-		return fmt.Errorf("sweep: unknown axis field %q (scenario fields or param:<name>)", field)
+		return fmt.Errorf("sweep: unknown axis field %q (scenario fields, param:<name>, or workload.opt:<key>)", field)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package dcsim
 import (
 	"fmt"
 
+	"repro/internal/objstore"
 	"repro/internal/tracedir"
 	"repro/internal/vmmodel"
 	"repro/pkg/dcsim/model"
@@ -103,6 +104,13 @@ func VMsFor(w Workload) ([]*VM, error) {
 	}
 	return vmmodel.FromSeries(ds.Names, ds.Fine), nil
 }
+
+// WorkloadFetchStats snapshots the process's cumulative object-store
+// fetch/cache counters: chunk fetches that went to the store, local cache
+// hits, cache evictions, and transient-fault retries. The counters are
+// process-global across every "trace-obj" workload the process has read —
+// the OpenMetrics exporter and `dcsim sweep -v` surface exactly this.
+func WorkloadFetchStats() model.FetchStats { return objstore.Stats() }
 
 // WriteTraceDir records a dataset's fine traces as a "trace-dir" workload:
 // chunked CSVs of at most vmsPerFile VM columns (0 = one file) plus a

@@ -13,7 +13,7 @@ import (
 
 func TestWorkloadKindsListsBuiltins(t *testing.T) {
 	kinds := WorkloadKinds()
-	for _, want := range []string{"datacenter", "uncorrelated", "trace-dir"} {
+	for _, want := range []string{"datacenter", "uncorrelated", "trace-dir", "trace-obj"} {
 		found := false
 		for _, k := range kinds {
 			if k == want {
@@ -182,12 +182,90 @@ func withSeed(w Workload, seed int64) Workload {
 // synthetic generators do not, and unknown kinds are simply false (the
 // registry rejection happens elsewhere).
 func TestSeedInvariantWorkload(t *testing.T) {
-	if !SeedInvariantWorkload("trace-dir") {
-		t.Error("trace-dir should be seed-invariant")
+	for _, kind := range []string{"trace-dir", "trace-obj"} {
+		if !SeedInvariantWorkload(kind) {
+			t.Errorf("%s should be seed-invariant", kind)
+		}
 	}
 	for _, kind := range []string{"datacenter", "uncorrelated", "", "nope"} {
 		if SeedInvariantWorkload(kind) {
 			t.Errorf("kind %q reported seed-invariant", kind)
 		}
 	}
+}
+
+// TestWorkloadOptionsContract pins the kind-scoped options map: keys a
+// backend does not read are rejected (the unread-param rule, applied to
+// workloads), setting is copy-on-write so derived scenarios never alias,
+// and the scenario validator rejects structurally empty keys.
+func TestWorkloadOptionsContract(t *testing.T) {
+	t.Run("synthetic kinds read no options", func(t *testing.T) {
+		for _, kind := range []string{"datacenter", "uncorrelated"} {
+			w := Workload{Kind: kind, VMs: 4, Groups: 2, Hours: 1}
+			w.SetOption("cache_mb", "1")
+			err := CheckWorkload(w)
+			if err == nil || !strings.Contains(err.Error(), "reads no options") {
+				t.Errorf("kind %s: err = %v, want unread-option rejection", kind, err)
+			}
+		}
+	})
+	t.Run("trace-dir reads no options", func(t *testing.T) {
+		w := Workload{Kind: "trace-dir", Path: t.TempDir()}
+		w.SetOption("cache_mb", "1")
+		err := CheckWorkload(w)
+		if err == nil || !strings.Contains(err.Error(), "reads no options") {
+			t.Errorf("err = %v, want unread-option rejection", err)
+		}
+	})
+	t.Run("trace-obj rejects unread keys", func(t *testing.T) {
+		w := Workload{Kind: "trace-obj", Path: "http://store.example/run"}
+		w.SetOption("cache_gb", "1")
+		err := CheckWorkload(w)
+		if err == nil || !strings.Contains(err.Error(), "cache_gb") {
+			t.Errorf("err = %v, want the unread key named", err)
+		}
+	})
+	t.Run("copy on write", func(t *testing.T) {
+		base := New(WithWorkloadOption("cache_mb", "64"))
+		derived := base
+		derived.Workload.SetOption("cache_mb", "128")
+		if got := base.Workload.Option("cache_mb"); got != "64" {
+			t.Errorf("base option mutated to %q through the derived copy", got)
+		}
+		if got := derived.Workload.Option("cache_mb"); got != "128" {
+			t.Errorf("derived option = %q, want 128", got)
+		}
+	})
+	t.Run("unknown options sorted", func(t *testing.T) {
+		var w Workload
+		w.SetOption("zeta", "1")
+		w.SetOption("alpha", "1")
+		w.SetOption("cache_mb", "1")
+		got := w.UnknownOptions("cache_mb")
+		if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+			t.Errorf("UnknownOptions = %v, want [alpha zeta]", got)
+		}
+	})
+	t.Run("empty key fails validation", func(t *testing.T) {
+		sc := New()
+		sc.Workload.Options = map[string]string{"": "x"}
+		if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "empty workload option key") {
+			t.Errorf("Validate err = %v, want empty-key rejection", err)
+		}
+	})
+	t.Run("options survive the JSON round trip", func(t *testing.T) {
+		sc := New(WithWorkloadKind("trace-obj"), WithTracePath("http://store.example/run"),
+			WithWorkloadOption("cache_mb", "64"))
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseScenario(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := back.Workload.Option("cache_mb"); got != "64" {
+			t.Errorf("round-tripped option = %q, want 64", got)
+		}
+	})
 }

@@ -1,0 +1,120 @@
+#!/bin/sh
+# objstore_smoke.sh — end-to-end smoke of the diskless object-store
+# workload path: record a trace directory, serve it with "dcsim objserve"
+# (injecting transient 503s), sweep the objstore-smoke grid through a
+# coordinator fanning out to two diskless workers reading "trace-obj" over
+# HTTP, and require the CSV report to be byte-identical to a plain local
+# "trace-dir" sweep of the same recording. A second, warm pass through the
+# shared chunk cache must fetch nothing from the store.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(mktemp -d)
+cleanup() {
+	rm -rf "$out"
+	for p in "${obj:-}" "${w1:-}" "${w2:-}"; do
+		[ -n "$p" ] && kill "$p" 2>/dev/null || true
+	done
+}
+trap cleanup EXIT
+
+go build -o "$out/dcsim" ./cmd/dcsim
+go build -o "$out/tracegen" ./cmd/tracegen
+
+# The recording: the grid base's workload, chunked across several CSVs.
+"$out/tracegen" -dir "$out/recording" -vms 24 -groups 6 -hours 2 -per-file 8
+
+# The determinism reference: the same recording swept from local disk.
+"$out/dcsim" sweep -grid examples/grids/objstore-smoke.json \
+	-tracedir "$out/recording" -out "$out/ref" -quiet
+
+# The object store, with the first requests answering 503: the fetcher's
+# bounded retry must heal real injected faults, not just unit-test ones.
+"$out/dcsim" objserve -dir "$out/recording" -fail-first 3 -quiet \
+	>"$out/objserve.url" &
+obj=$!
+i=0
+until [ -s "$out/objserve.url" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "objstore_smoke: objserve never printed its URL" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+url=$(head -n 1 "$out/objserve.url")
+echo "objstore_smoke: object store at $url (fail-first=3)"
+
+# Two diskless workers: no -tracedir, no shared filesystem with the
+# recording — everything they read arrives over HTTP from the store.
+"$out/dcsim" worker -listen 127.0.0.1:18091 -quiet &
+w1=$!
+"$out/dcsim" worker -listen 127.0.0.1:18092 -quiet &
+w2=$!
+for port in 18091 18092; do
+	i=0
+	until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 50 ]; then
+			echo "objstore_smoke: worker :$port never became healthy" >&2
+			exit 1
+		fi
+		sleep 0.2
+	done
+done
+echo "objstore_smoke: 2 diskless workers up"
+
+# The coordinator fans the grid out to the workers; -objstore flips the
+# base workload to trace-obj and -wopt pins a cache directory the warm
+# pass below can reuse.
+"$out/dcsim" sweep -grid examples/grids/objstore-smoke.json \
+	-objstore "$url" -wopt "cache_dir=$out/cache" \
+	-remote http://127.0.0.1:18091,http://127.0.0.1:18092 \
+	-out "$out/obj" -quiet
+
+# Byte-identical aggregates: the diskless sweep's CSV must equal the
+# local trace-dir sweep's exactly. (The JSON report embeds each cell's
+# scenario, whose workload kind/path legitimately differ.)
+if ! cmp -s "$out/obj/objstore-smoke.csv" "$out/ref/objstore-smoke.csv"; then
+	echo "objstore_smoke: object-store sweep CSV differs from trace-dir sweep" >&2
+	diff "$out/ref/objstore-smoke.csv" "$out/obj/objstore-smoke.csv" >&2 || true
+	exit 1
+fi
+echo "objstore_smoke: CSV byte-identical to local trace-dir sweep"
+
+# Warm pass: a fresh in-process sweep over the cache the workers filled.
+# -v prints this process's fetch/cache totals: everything must be served
+# from cache (0 chunk fetches) and still match byte for byte.
+"$out/dcsim" sweep -grid examples/grids/objstore-smoke.json \
+	-objstore "$url" -wopt "cache_dir=$out/cache" \
+	-out "$out/warm" -quiet -v >"$out/warm.log"
+if ! cmp -s "$out/warm/objstore-smoke.csv" "$out/ref/objstore-smoke.csv"; then
+	echo "objstore_smoke: warm-cache sweep CSV differs from trace-dir sweep" >&2
+	exit 1
+fi
+grep -q '^objstore: 0 chunk fetches, [1-9][0-9]* cache hits' "$out/warm.log" || {
+	echo "objstore_smoke: warm pass was not served from the cache:" >&2
+	cat "$out/warm.log" >&2
+	exit 1
+}
+echo "objstore_smoke: warm pass cache-served ($(cat "$out/warm.log"))"
+
+# Graceful teardown: SIGINT must exit everything cleanly.
+for p in "$w1" "$w2"; do
+	kill -INT "$p"
+done
+for p in "$w1" "$w2"; do
+	if ! wait "$p"; then
+		echo "objstore_smoke: a worker exited non-zero after SIGINT" >&2
+		exit 1
+	fi
+done
+w1="" w2=""
+kill -INT "$obj"
+if wait "$obj"; then
+	obj=""
+	echo "objstore_smoke: clean exits all around"
+else
+	echo "objstore_smoke: objserve exited non-zero after SIGINT" >&2
+	exit 1
+fi
