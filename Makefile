@@ -7,9 +7,9 @@ STATICCHECK_VERSION ?= 2025.1.1
 
 .PHONY: ci lint fmt vet staticcheck staticcheck-version build test race \
 	bench bench-sweep bench-alloc bench-compare leakcheck smoke-service \
-	smoke-fleet smoke-objstore
+	smoke-fleet smoke-objstore smoke-stream
 
-ci: lint build test race smoke-service smoke-fleet smoke-objstore bench-compare
+ci: lint build test race smoke-service smoke-fleet smoke-objstore smoke-stream bench-compare
 
 # lint is the static gate CI's lint job runs: formatting, go vet,
 # staticcheck, and the public-API leak check.
@@ -83,6 +83,14 @@ smoke-fleet:
 # entirely from the chunk cache (0 fetches).
 smoke-objstore:
 	./scripts/objstore_smoke.sh
+
+# smoke-stream drives the streaming workload data path end to end under
+# memory pressure: a 512-VM recording swept materialized (unlimited) as
+# the reference, then streamed under a tight GOMEMLIMIT — locally and
+# through two remote workers under the same limit — with every CSV report
+# byte-identical to the reference and the peak-heap line logged.
+smoke-stream:
+	./scripts/stream_smoke.sh
 
 # bench-alloc records the allocator scaling trajectory (exact Fig.-2
 # semantics up to 2k VMs, blocked evaluation at 1k/2k/10k) plus the

@@ -35,7 +35,8 @@ func sweepMain(args []string) {
 		workload  = fs.String("workload", "", "override the grid base's workload kind (see dcsim -help for kinds)")
 		tracedir  = fs.String("tracedir", "", "recorded trace directory for the trace-dir workload kind; implies -workload trace-dir when the base kind is unset or the default")
 		objstore  = fs.String("objstore", "", "http(s) bucket/prefix URL for the trace-obj workload kind; implies -workload trace-obj when the base kind is unset or the default")
-		verbose   = fs.Bool("v", false, "print the object-store fetch/cache summary after the sweep")
+		verbose   = fs.Bool("v", false, "print the peak-heap and object-store fetch/cache summaries after the sweep")
+		material  = fs.Bool("materialize", false, "force the legacy whole-dataset ingest instead of the streaming data path (memory-path verification; results are byte-identical)")
 		workers   = fs.Int("workers", 0, "concurrent runs (default GOMAXPROCS, or the remote capacity with -remote; aggregates are identical at any count)")
 		outDir    = fs.String("out", ".", "directory the JSON and CSV reports are written to")
 		progress  = fs.Bool("progress", false, "print each cell's aggregate as it completes")
@@ -115,6 +116,11 @@ func sweepMain(args []string) {
 	if err := applyWorkloadOptions(&g.Base.Workload, wopts); err != nil {
 		log.Fatal("sweep: ", err)
 	}
+	if *material {
+		// The knob rides the scenario, so it reaches remote and fleet
+		// workers through CellRun exactly like any other base field.
+		g.Base.Materialize = true
+	}
 	if err := g.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -189,9 +195,15 @@ func sweepMain(args []string) {
 		}))
 	}
 
+	stopSampling := func() {}
+	var peakHeap uint64
+	if *verbose {
+		stopSampling = sampleHeapPeak(&peakHeap)
+	}
 	start := time.Now()
 	res, runErr := sweep.Run(ctx, g, opts)
 	elapsed := time.Since(start)
+	stopSampling()
 	if runErr != nil {
 		if res == nil || len(res.Cells) == 0 {
 			log.Fatal(runErr)
@@ -239,6 +251,8 @@ func sweepMain(args []string) {
 		st := dcsim.WorkloadFetchStats()
 		fmt.Printf("objstore: %d chunk fetches, %d cache hits, %d evictions, %d retries\n",
 			st.ChunkFetches, st.CacheHits, st.CacheEvictions, st.FetchRetries)
+		fmt.Printf("peak heap: %.1f MiB (sampled; streamed ingest bounds this by the in-flight cells, not the dataset)\n",
+			float64(peakHeap)/(1<<20))
 	}
 
 	if *bench != "" {
@@ -265,5 +279,40 @@ func sweepMain(args []string) {
 	// grid" — scripts consuming the aggregates depend on it.
 	if runErr != nil {
 		os.Exit(1)
+	}
+}
+
+// sampleHeapPeak records the high-water HeapAlloc on a short ticker until
+// the returned stop func is called (which takes one final sample first).
+// GC timing makes the peak approximate, but it is the quantity the
+// streaming data path bounds and the smoke gate watches under GOMEMLIMIT.
+func sampleHeapPeak(peak *uint64) (stop func()) {
+	update := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > *peak {
+			*peak = ms.HeapAlloc
+		}
+	}
+	update()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				update()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		update()
 	}
 }

@@ -1,0 +1,51 @@
+package envelope
+
+import "repro/internal/trace"
+
+// cacheKey identifies an extraction input: the window's backing storage
+// (first-sample address plus length — Series.Slice shares storage, so two
+// views of the same samples hash to the same key) and the percentile.
+type cacheKey struct {
+	first *float64
+	n     int
+	pctl  float64
+}
+
+// Cache memoizes ExtractOffPeak by window identity, so envelope bitsets
+// are extracted once per distinct window instead of once per decision.
+// Placement policies carry one across Place invocations (see place.PCP);
+// repeated placements over the same monitoring window — re-planning,
+// repeated sweeps over one ingest, A/B runs sharing traces — then reuse
+// the bitsets instead of re-sorting every window for its percentile.
+//
+// Identity, not equality: a window whose samples were copied (not sliced)
+// misses and is extracted fresh, which costs time but never correctness —
+// the returned envelope is always exactly ExtractOffPeak's.
+//
+// The zero Cache is not ready; use NewCache. Not safe for concurrent use.
+type Cache struct {
+	m map[cacheKey]Envelope
+}
+
+// NewCache returns an empty extraction cache.
+func NewCache() *Cache { return &Cache{m: make(map[cacheKey]Envelope)} }
+
+// Len reports how many distinct windows have been extracted.
+func (c *Cache) Len() int { return len(c.m) }
+
+// ExtractOffPeak returns the package-level ExtractOffPeak of the series,
+// memoized. A nil or empty series yields the zero Envelope — the same
+// "lands in the first cluster" convention PCP applies.
+func (c *Cache) ExtractOffPeak(s *trace.Series, pctl float64) Envelope {
+	if s == nil || s.Len() == 0 {
+		return Envelope{}
+	}
+	samples := s.Samples()
+	key := cacheKey{first: &samples[0], n: len(samples), pctl: pctl}
+	if env, ok := c.m[key]; ok {
+		return env
+	}
+	env := ExtractOffPeak(s, pctl)
+	c.m[key] = env
+	return env
+}

@@ -67,6 +67,19 @@ func (Source) Traces(w model.Workload) (*model.Dataset, error) {
 	return tracedir.TracesFrom(context.Background(), f, w)
 }
 
+// Open implements model.StreamingSource: the recording streamed VM by VM,
+// chunk fetches arriving over HTTP as records are consumed. In-flight
+// residency on the Go heap is one chunk; it is the local LRU chunk cache
+// (OptCacheDir/OptCacheMB) that holds whatever longer-lived copies exist,
+// so the cache budget — not the dataset size — bounds a diskless worker.
+func (Source) Open(ctx context.Context, w model.Workload) (model.DatasetReader, error) {
+	f, err := configure(w)
+	if err != nil {
+		return nil, err
+	}
+	return tracedir.OpenFrom(ctx, f, w)
+}
+
 // configure validates the workload and builds its Fetcher.
 func configure(w model.Workload) (*Fetcher, error) {
 	if w.Path == "" {

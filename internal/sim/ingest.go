@@ -1,0 +1,179 @@
+// ingest.go is the engine's streaming workload ingest: fold a
+// model.DatasetReader, VM by VM, into the incremental state placement
+// consumes — predicted references, off-peak levels, envelope bitsets,
+// per-VM summary statistics — retaining raw fine series only for
+// consumers that declare they need them.
+//
+// The full per-sample simulator (Run) is such a consumer: its time-major
+// power/violation accounting and the pairwise cost matrix both walk
+// simultaneous samples across VMs, which fundamentally requires the fine
+// series resident, so Run's ingest keeps them (NeedFine). Placement-only
+// consumers — capacity planning, allocator benches, what-if packing over
+// an ingested population — fold each VM and drop it, so their peak heap
+// is the fold state (a few scalars and one coarse bitset per VM) plus a
+// single record in flight, not the dataset.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/envelope"
+	"repro/pkg/dcsim/model"
+)
+
+// IngestConfig declares what a consumer needs from the stream. The zero
+// value folds summary state only.
+type IngestConfig struct {
+	// Pctl is the reference percentile for û (>= 1 = peak; 0 = peak).
+	Pctl float64
+	// OffPctl is the off-peak percentile (0 -> 0.9, the PCP default).
+	OffPctl float64
+	// Envelopes extracts each VM's off-peak envelope bitset at OffPctl
+	// over its coarse series (fine when the source carries no coarse
+	// granularity) — the state PCP reuses across invocations.
+	Envelopes bool
+	// NeedFine retains each VM's raw fine series. Declare it only when
+	// the consumer genuinely walks per-sample data (the full simulator);
+	// it is what makes ingest memory linear in dataset size again.
+	NeedFine bool
+	// NeedCoarse retains each VM's coarse series.
+	NeedCoarse bool
+}
+
+func (c IngestConfig) offPctl() float64 {
+	if c.OffPctl <= 0 || c.OffPctl >= 1 {
+		return 0.9
+	}
+	return c.OffPctl
+}
+
+func (c IngestConfig) pctl() float64 {
+	if c.Pctl <= 0 {
+		return 1
+	}
+	return c.Pctl
+}
+
+// Ingested is the folded state of one workload stream: parallel per-VM
+// slices in canonical order. Which slices are populated follows the
+// IngestConfig; the scalar folds are always present.
+type Ingested struct {
+	Names []string
+	// Group is the per-VM service-group index, nil when the source
+	// carries no group provenance.
+	Group []int
+	// Refs is û per VM over the full horizon at the configured
+	// percentile — exactly VM.RefOver(0, len, pctl) of the fine series,
+	// computed while the record was in flight.
+	Refs []float64
+	// OffPeaks is the off-peak level per VM (fine series, OffPctl).
+	OffPeaks []float64
+	// Means is the mean fine demand per VM.
+	Means []float64
+	// Envelopes is the per-VM off-peak bitset (IngestConfig.Envelopes).
+	Envelopes []envelope.Envelope
+	// Fine and Coarse are the retained raw series; nil unless declared.
+	Fine   []*model.Series
+	Coarse []*model.Series
+
+	// Interval and Samples describe the fine granularity (first VM; the
+	// backends validate uniformity).
+	Interval time.Duration
+	Samples  int
+	// TotalDemand is the sum of mean demands — the aggregate load the
+	// population presents, in core-equivalents.
+	TotalDemand float64
+}
+
+// Len returns the number of ingested VMs.
+func (ing *Ingested) Len() int { return len(ing.Names) }
+
+// Requests materializes the placement requests the fold describes: the
+// same ID/Ref/OffPeak values Run computes from resident fine series.
+// Window is populated only when the fine series were retained — policies
+// that cluster raw demand (PCP without precomputed envelopes) need it,
+// and the precomputed Envelopes slice is the streaming substitute.
+func (ing *Ingested) Requests() []model.Request {
+	reqs := make([]model.Request, ing.Len())
+	for i := range reqs {
+		reqs[i] = model.Request{ID: ing.Names[i], Ref: ing.Refs[i], OffPeak: ing.OffPeaks[i]}
+		if ing.Fine != nil {
+			reqs[i].Window = ing.Fine[i]
+		}
+	}
+	return reqs
+}
+
+// IngestReader drains a workload stream into the fold state and closes the
+// reader. A mid-stream error (fetch failure, cancellation) closes the
+// reader and surfaces unchanged.
+func IngestReader(r model.DatasetReader, cfg IngestConfig) (*Ingested, error) {
+	n := r.Len()
+	if n < 0 {
+		n = 0
+	}
+	ing := &Ingested{
+		Names:    make([]string, 0, n),
+		Refs:     make([]float64, 0, n),
+		OffPeaks: make([]float64, 0, n),
+		Means:    make([]float64, 0, n),
+	}
+	if cfg.Envelopes {
+		ing.Envelopes = make([]envelope.Envelope, 0, n)
+	}
+	if cfg.NeedFine {
+		ing.Fine = make([]*model.Series, 0, n)
+	}
+	if cfg.NeedCoarse {
+		ing.Coarse = make([]*model.Series, 0, n)
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		if rec.Fine == nil || rec.Fine.Len() == 0 {
+			r.Close()
+			return nil, fmt.Errorf("sim: ingest record %q has no fine samples", rec.Name)
+		}
+		if len(ing.Names) == 0 {
+			ing.Interval = rec.Fine.Interval()
+			ing.Samples = rec.Fine.Len()
+		}
+		ing.Names = append(ing.Names, rec.Name)
+		if rec.Grouped {
+			ing.Group = append(ing.Group, rec.Group)
+		}
+		mean := rec.Fine.Mean()
+		ing.Means = append(ing.Means, mean)
+		ing.TotalDemand += mean
+		ing.Refs = append(ing.Refs, rec.Fine.Ref(cfg.pctl()))
+		ing.OffPeaks = append(ing.OffPeaks, rec.Fine.Percentile(cfg.offPctl()))
+		if cfg.Envelopes {
+			src := rec.Coarse
+			if src == nil {
+				src = rec.Fine
+			}
+			ing.Envelopes = append(ing.Envelopes, envelope.ExtractOffPeak(src, cfg.offPctl()))
+		}
+		if cfg.NeedFine {
+			ing.Fine = append(ing.Fine, rec.Fine)
+		}
+		if cfg.NeedCoarse {
+			ing.Coarse = append(ing.Coarse, rec.Coarse)
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	if len(ing.Group) != 0 && len(ing.Group) != len(ing.Names) {
+		return nil, fmt.Errorf("sim: ingest grouped %d of %d records", len(ing.Group), len(ing.Names))
+	}
+	return ing, nil
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/envelope"
+	"repro/internal/synth"
+	"repro/pkg/dcsim/model"
+)
+
+func ingestTestConfig() synth.DatacenterConfig {
+	cfg := synth.DefaultDatacenterConfig()
+	cfg.VMs, cfg.Groups = 12, 4
+	cfg.Day /= 12 // 2 h keeps the fold cheap
+	return cfg
+}
+
+// TestIngestMatchesMaterialized pins the fold against the materialized
+// dataset: every folded scalar and bitset must equal what a consumer of
+// the whole Dataset would compute.
+func TestIngestMatchesMaterialized(t *testing.T) {
+	cfg := ingestTestConfig()
+	ds := synth.Datacenter(cfg)
+	ing, err := IngestReader(synth.NewStream(cfg), IngestConfig{Pctl: 1, OffPctl: 0.9, Envelopes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Len() != cfg.VMs {
+		t.Fatalf("ingested %d VMs, want %d", ing.Len(), cfg.VMs)
+	}
+	if ing.Interval != ds.Fine[0].Interval() || ing.Samples != ds.Fine[0].Len() {
+		t.Fatalf("fine shape %v/%d, want %v/%d", ing.Interval, ing.Samples, ds.Fine[0].Interval(), ds.Fine[0].Len())
+	}
+	for i := range ds.Fine {
+		if ing.Names[i] != ds.Names[i] || ing.Group[i] != ds.Group[i] {
+			t.Fatalf("VM %d: %q/g%d, want %q/g%d", i, ing.Names[i], ing.Group[i], ds.Names[i], ds.Group[i])
+		}
+		if want := ds.Fine[i].Ref(1); ing.Refs[i] != want {
+			t.Fatalf("VM %d ref %v, want %v", i, ing.Refs[i], want)
+		}
+		if want := ds.Fine[i].Percentile(0.9); ing.OffPeaks[i] != want {
+			t.Fatalf("VM %d off-peak %v, want %v", i, ing.OffPeaks[i], want)
+		}
+		if want := ds.Fine[i].Mean(); ing.Means[i] != want {
+			t.Fatalf("VM %d mean %v, want %v", i, ing.Means[i], want)
+		}
+		want := envelope.ExtractOffPeak(ds.Coarse[i], 0.9)
+		if got := ing.Envelopes[i]; got.Len() != want.Len() {
+			t.Fatalf("VM %d envelope length %d, want %d", i, got.Len(), want.Len())
+		} else {
+			for b := 0; b < want.Len(); b++ {
+				if got.Bit(b) != want.Bit(b) {
+					t.Fatalf("VM %d envelope bit %d differs", i, b)
+				}
+			}
+		}
+	}
+	if ing.Fine != nil || ing.Coarse != nil {
+		t.Fatal("fold retained raw series without NeedFine/NeedCoarse")
+	}
+}
+
+// TestIngestNeedFineRetains pins the declaration seam: only a consumer
+// that declares NeedFine gets resident fine series, and Requests carries
+// windows exactly then.
+func TestIngestNeedFineRetains(t *testing.T) {
+	cfg := ingestTestConfig()
+	ing, err := IngestReader(synth.NewStream(cfg), IngestConfig{NeedFine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ing.Fine) != cfg.VMs {
+		t.Fatalf("retained %d fine series, want %d", len(ing.Fine), cfg.VMs)
+	}
+	reqs := ing.Requests()
+	for i, r := range reqs {
+		if r.Window != ing.Fine[i] {
+			t.Fatalf("request %d window not the retained series", i)
+		}
+		if r.ID != ing.Names[i] || r.Ref != ing.Refs[i] || r.OffPeak != ing.OffPeaks[i] {
+			t.Fatalf("request %d fields diverge from the fold", i)
+		}
+	}
+
+	lean, err := IngestReader(synth.NewStream(cfg), IngestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range lean.Requests() {
+		if r.Window != nil {
+			t.Fatalf("request %d carries a window without NeedFine", i)
+		}
+	}
+}
+
+// failingReader breaks after a few records, like a dead transport.
+type failingReader struct {
+	model.DatasetReader
+	left   int
+	err    error
+	closed bool
+}
+
+func (r *failingReader) Next() (model.VMRecord, error) {
+	if r.left == 0 {
+		return model.VMRecord{}, r.err
+	}
+	r.left--
+	return r.DatasetReader.Next()
+}
+
+func (r *failingReader) Close() error { r.closed = true; return r.DatasetReader.Close() }
+
+// TestIngestMidStreamErrorCloses pins the failure path: a mid-stream error
+// surfaces unchanged and the reader is closed.
+func TestIngestMidStreamErrorCloses(t *testing.T) {
+	want := errors.New("transport died")
+	r := &failingReader{DatasetReader: synth.NewStream(ingestTestConfig()), left: 3, err: want}
+	if _, err := IngestReader(r, IngestConfig{}); !errors.Is(err, want) {
+		t.Fatalf("IngestReader() = %v, want %v", err, want)
+	}
+	if !r.closed {
+		t.Fatal("ingest did not close the reader on error")
+	}
+}

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"time"
@@ -55,9 +56,25 @@ func DefaultDatacenterConfig() DatacenterConfig {
 // model.Dataset.
 type Dataset = model.Dataset
 
-// Datacenter generates a Dataset according to cfg. The same config always
-// yields the same traces.
-func Datacenter(cfg DatacenterConfig) *Dataset {
+// Stream generates the datacenter dataset one VM at a time: the shared
+// group state (diurnal profiles, burst episodes, size scales) is drawn up
+// front, and each Next draws exactly the per-VM randomness Datacenter
+// would at that index — so draining a Stream reproduces Datacenter's
+// Dataset byte for byte while holding only O(groups × coarse samples) of
+// state plus the one record in flight. It implements model.DatasetReader
+// for the streaming workload path.
+type Stream struct {
+	cfg          DatacenterConfig
+	rng          *rand.Rand
+	nCoarse      int
+	groupProfile [][]float64
+	groupScale   []float64
+	i            int
+}
+
+// NewStream validates cfg (panicking on degenerate values, as Datacenter
+// always has) and draws the shared group state.
+func NewStream(cfg DatacenterConfig) *Stream {
 	if cfg.VMs <= 0 || cfg.Groups <= 0 {
 		panic("synth: DatacenterConfig needs positive VMs and Groups")
 	}
@@ -131,31 +148,56 @@ func Datacenter(cfg DatacenterConfig) *Dataset {
 		groupScale[g] = cfg.ScaleMin + (cfg.ScaleMax-cfg.ScaleMin)*rng.Float64()
 	}
 
-	ds := &Dataset{
-		Names:  make([]string, cfg.VMs),
-		Group:  make([]int, cfg.VMs),
-		Coarse: make([]*trace.Series, cfg.VMs),
-		Fine:   make([]*trace.Series, cfg.VMs),
+	return &Stream{cfg: cfg, rng: rng, nCoarse: nCoarse,
+		groupProfile: groupProfile, groupScale: groupScale}
+}
+
+// Len implements model.DatasetReader.
+func (s *Stream) Len() int { return s.cfg.VMs }
+
+// Close implements model.DatasetReader; the generator holds no resources.
+func (s *Stream) Close() error { return nil }
+
+// Next generates the next VM. The per-VM draws come from the single
+// generator rng in strict index order — the exact sequence the batch
+// generator consumed — which is what makes streamed and materialized
+// synthesis sample-identical.
+func (s *Stream) Next() (model.VMRecord, error) {
+	if s.i >= s.cfg.VMs {
+		return model.VMRecord{}, io.EOF
 	}
-	for i := 0; i < cfg.VMs; i++ {
-		g := i % cfg.Groups
-		ds.Group[i] = g
-		ds.Names[i] = fmt.Sprintf("vm%02d.g%d", i, g)
-		scale := groupScale[g] * (0.95 + 0.1*rng.Float64())
-		// Slow idiosyncratic noise: AR(1) walk around 1.
-		noise := 0.0
-		coarse := trace.New(cfg.CoarseInterval, nCoarse)
-		for t := 0; t < nCoarse; t++ {
-			noise = 0.9*noise + 0.1*rng.NormFloat64()
-			v := scale * groupProfile[g][t] * (1 + cfg.NoiseFrac*noise)
-			if v < 0.02 {
-				v = 0.02
-			}
-			coarse.Append(v)
+	cfg, i := s.cfg, s.i
+	s.i++
+	g := i % cfg.Groups
+	scale := s.groupScale[g] * (0.95 + 0.1*s.rng.Float64())
+	// Slow idiosyncratic noise: AR(1) walk around 1.
+	noise := 0.0
+	coarse := trace.New(cfg.CoarseInterval, s.nCoarse)
+	for t := 0; t < s.nCoarse; t++ {
+		noise = 0.9*noise + 0.1*s.rng.NormFloat64()
+		v := scale * s.groupProfile[g][t] * (1 + cfg.NoiseFrac*noise)
+		if v < 0.02 {
+			v = 0.02
 		}
-		ds.Coarse[i] = coarse
-		ln := NewLogNormal(cfg.Sigma, cfg.Seed+int64(1000+i))
-		ds.Fine[i] = ln.Refine(coarse, cfg.FineFactor)
+		coarse.Append(v)
+	}
+	ln := NewLogNormal(cfg.Sigma, cfg.Seed+int64(1000+i))
+	return model.VMRecord{
+		Name:    fmt.Sprintf("vm%02d.g%d", i, g),
+		Group:   g,
+		Grouped: true,
+		Coarse:  coarse,
+		Fine:    ln.Refine(coarse, cfg.FineFactor),
+	}, nil
+}
+
+// Datacenter generates a Dataset according to cfg. The same config always
+// yields the same traces. It is the materialization of NewStream.
+func Datacenter(cfg DatacenterConfig) *Dataset {
+	ds, err := model.Materialize(NewStream(cfg))
+	if err != nil {
+		// The generator's Next never fails before io.EOF.
+		panic("synth: " + err.Error())
 	}
 	return ds
 }
@@ -167,4 +209,14 @@ func Datacenter(cfg DatacenterConfig) *Dataset {
 func Uncorrelated(cfg DatacenterConfig) *Dataset {
 	cfg.Groups = cfg.VMs
 	return Datacenter(cfg)
+}
+
+// UncorrelatedStream is NewStream with the group structure shuffled away —
+// the streaming form of Uncorrelated. Note its shared state is
+// O(VMs × coarse samples) (every VM is its own group), so only the fine
+// granularity streams; the correlated Datacenter kind is the one that
+// stays small at very large VM counts.
+func UncorrelatedStream(cfg DatacenterConfig) *Stream {
+	cfg.Groups = cfg.VMs
+	return NewStream(cfg)
 }

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"io"
 	"math"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/pkg/dcsim/model"
 )
 
 func TestLogNormalMeanPreserved(t *testing.T) {
@@ -222,5 +224,76 @@ func TestDatacenterPanics(t *testing.T) {
 			}()
 			Datacenter(cfg)
 		}()
+	}
+}
+
+// TestStreamMatchesDatacenter pins the streaming generator's byte-identity
+// contract: draining NewStream record by record must reproduce the batch
+// Datacenter output exactly, including group provenance and both
+// granularities.
+func TestStreamMatchesDatacenter(t *testing.T) {
+	cfg := DefaultDatacenterConfig()
+	cfg.VMs, cfg.Groups, cfg.Day = 17, 5, 2*time.Hour
+	want := Datacenter(cfg)
+
+	st := NewStream(cfg)
+	if st.Len() != cfg.VMs {
+		t.Fatalf("Len() = %d, want %d", st.Len(), cfg.VMs)
+	}
+	for i := 0; ; i++ {
+		rec, err := st.Next()
+		if err == io.EOF {
+			if i != cfg.VMs {
+				t.Fatalf("stream ended after %d records, want %d", i, cfg.VMs)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Name != want.Names[i] || !rec.Grouped || rec.Group != want.Group[i] {
+			t.Fatalf("record %d: %q/g%d, want %q/g%d", i, rec.Name, rec.Group, want.Names[i], want.Group[i])
+		}
+		for _, pair := range []struct {
+			got, want *model.Series
+			gran      string
+		}{{rec.Coarse, want.Coarse[i], "coarse"}, {rec.Fine, want.Fine[i], "fine"}} {
+			if pair.got.Len() != pair.want.Len() || pair.got.Interval() != pair.want.Interval() {
+				t.Fatalf("record %d %s: shape mismatch", i, pair.gran)
+			}
+			for j := 0; j < pair.got.Len(); j++ {
+				if pair.got.At(j) != pair.want.At(j) {
+					t.Fatalf("record %d %s sample %d: %v != %v", i, pair.gran, j, pair.got.At(j), pair.want.At(j))
+				}
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUncorrelatedStreamMatches pins the same identity for the shuffled
+// variant.
+func TestUncorrelatedStreamMatches(t *testing.T) {
+	cfg := DefaultDatacenterConfig()
+	cfg.VMs, cfg.Day = 9, 2*time.Hour
+	want := Uncorrelated(cfg)
+	got, err := model.Materialize(UncorrelatedStream(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fine) != len(want.Fine) {
+		t.Fatalf("got %d VMs, want %d", len(got.Fine), len(want.Fine))
+	}
+	for i := range want.Fine {
+		if got.Names[i] != want.Names[i] {
+			t.Fatalf("VM %d named %q, want %q", i, got.Names[i], want.Names[i])
+		}
+		for j := 0; j < want.Fine[i].Len(); j++ {
+			if got.Fine[i].At(j) != want.Fine[i].At(j) {
+				t.Fatalf("VM %d fine sample %d: %v != %v", i, j, got.Fine[i].At(j), want.Fine[i].At(j))
+			}
+		}
 	}
 }

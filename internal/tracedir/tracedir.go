@@ -26,6 +26,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -340,14 +341,40 @@ func (Source) Traces(w model.Workload) (*model.Dataset, error) {
 	return TracesFrom(context.Background(), DirFetcher{Dir: w.Path}, w)
 }
 
-// TracesFrom assembles the recording behind the fetcher into a dataset:
-// manifest first (validated internally and against the workload), then the
-// chunks one at a time, each verified against the manifest's column order,
-// interval, and sample count. This is the whole recorded-trace read path
-// above the ChunkFetcher seam — every backend shares it verbatim, so the
-// dataset (and every validation error past the transport) is identical
-// whether the bytes came from a local directory or an object store.
+// Open implements model.StreamingSource: the same recording, emitted VM by
+// VM with at most one chunk's traces resident at a time.
+func (Source) Open(ctx context.Context, w model.Workload) (model.DatasetReader, error) {
+	if err := checkWorkloadShape(w); err != nil {
+		return nil, err
+	}
+	return OpenFrom(ctx, DirFetcher{Dir: w.Path}, w)
+}
+
+// TracesFrom assembles the recording behind the fetcher into a dataset. It
+// is the materialization of OpenFrom — the streamed and batch reads share
+// one parse/validate path, so the dataset (and every validation error past
+// the transport) is identical whether the bytes came from a local
+// directory or an object store, streamed or materialized.
 func TracesFrom(ctx context.Context, f ChunkFetcher, w model.Workload) (*model.Dataset, error) {
+	r, err := OpenFrom(ctx, f, w)
+	if err != nil {
+		return nil, err
+	}
+	return model.Materialize(r)
+}
+
+// OpenFrom opens the recording behind the fetcher as a VM stream: the
+// manifest is fetched, validated internally and against the workload up
+// front — a truncated or inconsistent manifest fails here, before any
+// trace bytes move — then chunks are fetched lazily, one at a time, as
+// records are consumed. Each chunk is verified against the manifest's
+// column order, interval, and sample count exactly as the batch reader
+// always has; its raw bytes are released once parsed, and emitted records
+// are dropped from the reader as they leave, so residency is bounded by
+// one chunk regardless of recording size. The context covers the whole
+// stream: it is threaded through every chunk fetch and checked between
+// records.
+func OpenFrom(ctx context.Context, f ChunkFetcher, w model.Workload) (model.DatasetReader, error) {
 	m, err := ReadManifestFrom(ctx, f)
 	if err != nil {
 		return nil, err
@@ -359,50 +386,111 @@ func TracesFrom(ctx context.Context, f ChunkFetcher, w model.Workload) (*model.D
 	if err != nil {
 		return nil, err
 	}
-	ds := &model.Dataset{
-		Names: append([]string(nil), m.Names...),
-		Fine:  make([]*model.Series, 0, len(m.Names)),
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if len(m.Groups) == len(m.Names) {
-		ds.Group = append([]int(nil), m.Groups...)
+	return &streamReader{ctx: ctx, f: f, m: m, iv: iv}, nil
+}
+
+// streamReader is the recorded-trace model.DatasetReader behind OpenFrom.
+type streamReader struct {
+	ctx context.Context
+	f   ChunkFetcher
+	m   *Manifest
+	iv  time.Duration
+
+	fileIdx int              // next manifest file to fetch
+	pending []model.VMRecord // records parsed from the current chunk
+	pi      int              // next pending record to emit
+	vmIdx   int              // canonical index of the next record
+	err     error            // sticky terminal error (io.EOF when drained)
+}
+
+// Len implements model.DatasetReader: the manifest's VM count.
+func (r *streamReader) Len() int { return len(r.m.Names) }
+
+// Close implements model.DatasetReader: drop whatever chunk is resident.
+// Closing mid-stream is how a consumer abandons a recording early.
+func (r *streamReader) Close() error {
+	r.pending, r.pi = nil, 0
+	if r.err == nil {
+		r.err = fmt.Errorf("tracedir: read after Close: %w", os.ErrClosed)
 	}
-	for _, entry := range m.Files {
-		names, series, err := readChunk(ctx, f, entry.File)
-		if err != nil {
-			return nil, err
-		}
-		if len(names) != len(entry.Names) {
-			return nil, fmt.Errorf("tracedir: %s holds %d VMs, manifest lists %d",
-				entry.File, len(names), len(entry.Names))
-		}
-		for i, n := range names {
-			if n != entry.Names[i] {
-				return nil, fmt.Errorf("tracedir: %s column %d is %q, manifest lists %q",
-					entry.File, i, n, entry.Names[i])
-			}
-		}
-		for _, s := range series {
-			if s.Interval() != iv {
-				return nil, fmt.Errorf("tracedir: %s sampled at %v, manifest claims %v",
-					entry.File, s.Interval(), iv)
-			}
-			if s.Len() != m.Samples {
-				return nil, fmt.Errorf("tracedir: %s holds %d samples per VM, manifest claims %d",
-					entry.File, s.Len(), m.Samples)
-			}
-			if err := s.Validate(); err != nil {
-				return nil, fmt.Errorf("tracedir: %s: %w", entry.File, err)
-			}
-		}
-		ds.Fine = append(ds.Fine, series...)
+	return nil
+}
+
+// Next implements model.DatasetReader.
+func (r *streamReader) Next() (model.VMRecord, error) {
+	if r.err != nil {
+		return model.VMRecord{}, r.err
 	}
-	if m.CoarseFactor > 1 {
-		ds.Coarse = make([]*model.Series, len(ds.Fine))
-		for i, s := range ds.Fine {
-			ds.Coarse[i] = s.Downsample(m.CoarseFactor)
+	if err := r.ctx.Err(); err != nil {
+		r.err = fmt.Errorf("tracedir: %w", err)
+		return model.VMRecord{}, r.err
+	}
+	for r.pi >= len(r.pending) {
+		if r.fileIdx >= len(r.m.Files) {
+			r.err = io.EOF
+			return model.VMRecord{}, io.EOF
+		}
+		if err := r.loadChunk(r.m.Files[r.fileIdx]); err != nil {
+			r.err = err
+			return model.VMRecord{}, err
+		}
+		r.fileIdx++
+	}
+	rec := r.pending[r.pi]
+	// Drop the emitted record so a consumer that folds and discards keeps
+	// only its own state alive, not the rest of the chunk behind it.
+	r.pending[r.pi] = model.VMRecord{}
+	r.pi++
+	return rec, nil
+}
+
+// loadChunk fetches, parses, and verifies one chunk, replacing the pending
+// records. The checks (and their error text) are the batch reader's,
+// unchanged.
+func (r *streamReader) loadChunk(entry FileEntry) error {
+	names, series, err := readChunk(r.ctx, r.f, entry.File)
+	if err != nil {
+		return err
+	}
+	if len(names) != len(entry.Names) {
+		return fmt.Errorf("tracedir: %s holds %d VMs, manifest lists %d",
+			entry.File, len(names), len(entry.Names))
+	}
+	for i, n := range names {
+		if n != entry.Names[i] {
+			return fmt.Errorf("tracedir: %s column %d is %q, manifest lists %q",
+				entry.File, i, n, entry.Names[i])
 		}
 	}
-	return ds, nil
+	grouped := len(r.m.Groups) == len(r.m.Names)
+	recs := make([]model.VMRecord, 0, len(series))
+	for _, s := range series {
+		if s.Interval() != r.iv {
+			return fmt.Errorf("tracedir: %s sampled at %v, manifest claims %v",
+				entry.File, s.Interval(), r.iv)
+		}
+		if s.Len() != r.m.Samples {
+			return fmt.Errorf("tracedir: %s holds %d samples per VM, manifest claims %d",
+				entry.File, s.Len(), r.m.Samples)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("tracedir: %s: %w", entry.File, err)
+		}
+		rec := model.VMRecord{Name: r.m.Names[r.vmIdx], Fine: s}
+		if grouped {
+			rec.Group, rec.Grouped = r.m.Groups[r.vmIdx], true
+		}
+		if r.m.CoarseFactor > 1 {
+			rec.Coarse = s.Downsample(r.m.CoarseFactor)
+		}
+		r.vmIdx++
+		recs = append(recs, rec)
+	}
+	r.pending, r.pi = recs, 0
+	return nil
 }
 
 // readChunk fetches and parses one CSV chunk.

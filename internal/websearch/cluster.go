@@ -280,8 +280,11 @@ func Run(cfg Config, pl *Placement) (*Result, error) {
 		if len(responses[c]) == 0 {
 			continue
 		}
-		res.P90[c] = stats.Quantile(responses[c], 0.9)
-		res.P99[c] = stats.Quantile(responses[c], 0.99)
+		// One sorted copy serves both tail percentiles (identical
+		// values to per-call Quantile, which would re-sort each time).
+		qs := stats.QuantilesOf(responses[c])
+		res.P90[c] = qs.At(0.9)
+		res.P99[c] = qs.At(0.99)
 		sum := 0.0
 		for _, r := range responses[c] {
 			sum += r

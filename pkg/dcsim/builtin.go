@@ -6,12 +6,14 @@
 package dcsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/envelope"
 	"repro/internal/objstore"
 	"repro/internal/place"
 	"repro/internal/power"
@@ -61,6 +63,34 @@ func (s synthSource) Traces(w model.Workload) (*model.Dataset, error) {
 	if err := s.Check(w); err != nil {
 		return nil, err
 	}
+	cfg := s.config(w)
+	if s.uncorrelated {
+		return synth.Uncorrelated(cfg), nil
+	}
+	return synth.Datacenter(cfg), nil
+}
+
+// Open implements model.StreamingSource: the generator emits VM by VM, so
+// large synthetic populations never exist as a whole Dataset — the state
+// behind the stream is the shared group profiles plus one record in
+// flight, and the records are sample-identical to Traces' output.
+func (s synthSource) Open(ctx context.Context, w model.Workload) (model.DatasetReader, error) {
+	if err := s.Check(w); err != nil {
+		return nil, err
+	}
+	cfg := s.config(w)
+	var st *synth.Stream
+	if s.uncorrelated {
+		st = synth.UncorrelatedStream(cfg)
+	} else {
+		st = synth.NewStream(cfg)
+	}
+	return model.ReaderWithContext(ctx, st), nil
+}
+
+// config maps the workload description onto the generator config, zero
+// fields selecting the generator defaults.
+func (s synthSource) config(w model.Workload) synth.DatacenterConfig {
 	cfg := synth.DefaultDatacenterConfig()
 	if w.VMs > 0 {
 		cfg.VMs = w.VMs
@@ -74,10 +104,7 @@ func (s synthSource) Traces(w model.Workload) (*model.Dataset, error) {
 	if w.Seed != 0 {
 		cfg.Seed = w.Seed
 	}
-	if s.uncorrelated {
-		return synth.Uncorrelated(cfg), nil
-	}
-	return synth.Datacenter(cfg), nil
+	return cfg
 }
 
 // newCostSource builds the engine's streaming Eqn-1 cost matrix — the
@@ -137,7 +164,12 @@ func init() {
 	RegisterPolicy("corr", corrAware)
 	RegisterPolicy("ffd", func(*Build) (model.Policy, error) { return place.FFD{}, nil })
 	RegisterPolicy("bfd", func(*Build) (model.Policy, error) { return place.BFD{}, nil })
-	RegisterPolicy("pcp", func(*Build) (model.Policy, error) { return place.PCP{}, nil })
+	// PCP carries an envelope-extraction cache for the run, so repeated
+	// placements over one monitoring window reuse the bitsets instead of
+	// re-extracting per decision (identical placements either way).
+	RegisterPolicy("pcp", func(*Build) (model.Policy, error) {
+		return place.PCP{Cache: envelope.NewCache()}, nil
+	})
 	RegisterPolicy("jointvm", func(*Build) (model.Policy, error) { return place.JointVM{}, nil })
 
 	// Frequency governors. "corr-aware" aliases the paper's Eqn-4 governor.

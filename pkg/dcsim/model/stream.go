@@ -1,0 +1,181 @@
+package model
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// VMRecord is one VM's demand traces as a streaming workload backend emits
+// them: the name, the service-group index (when the source records one),
+// and the demand at the granularities the source carries. Records arrive
+// in canonical dataset order — the same order a materialized Dataset's
+// parallel slices use — so folding a stream and indexing a Dataset see
+// identical VM sequences.
+type VMRecord struct {
+	Name string
+	// Group is the service-group index, meaningful only when Grouped is
+	// true (a source without group provenance leaves both zero, which
+	// materializes back to a Dataset with a nil Group slice).
+	Group   int
+	Grouped bool
+	// Coarse is the coarse-granularity demand, nil when the source
+	// records fine samples only.
+	Coarse *Series
+	// Fine is the fine-granularity demand; never nil.
+	Fine *Series
+}
+
+// DatasetReader yields a workload's VMs one record at a time, in canonical
+// order. Next returns io.EOF after the last record; any other error is
+// terminal (the stream is broken, not resumable). Close releases whatever
+// the reader holds — chunk buffers, cache handles — and must be called
+// whether or not the stream was drained.
+//
+// Len reports the total VM count, known up front from the manifest or the
+// generator config, so consumers can size their fold state before the
+// first record arrives.
+type DatasetReader interface {
+	Len() int
+	Next() (VMRecord, error)
+	Close() error
+}
+
+// StreamingSource is the optional WorkloadSource capability backing the
+// bounded-memory data path: a backend that can emit its traces VM by VM
+// instead of materializing the whole Dataset. Open validates the workload
+// the way Traces would and returns a reader whose drained records
+// reproduce Traces' Dataset byte for byte — streaming is a memory
+// strategy, never a different answer. The context covers the whole stream:
+// implementations observe cancellation between records (and inside chunk
+// fetches, for remote transports).
+type StreamingSource interface {
+	Open(ctx context.Context, w Workload) (DatasetReader, error)
+}
+
+// OpenSource opens a workload's VM stream: through the source's
+// StreamingSource capability when it has one, otherwise by materializing
+// Traces and wrapping the Dataset — so every consumer of the streaming
+// path works with every registered backend, and only the memory profile
+// differs.
+func OpenSource(ctx context.Context, src WorkloadSource, w Workload) (DatasetReader, error) {
+	if ss, ok := src.(StreamingSource); ok {
+		return ss.Open(ctx, w)
+	}
+	ds, err := src.Traces(w)
+	if err != nil {
+		return nil, err
+	}
+	return DatasetReaderOf(ds), nil
+}
+
+// Materialize drains a reader into the Dataset its records describe and
+// closes it. The result is identical to the source's Traces output — the
+// adapter every existing Traces caller keeps working through. A drain
+// error closes the reader and wins over any close error.
+func Materialize(r DatasetReader) (*Dataset, error) {
+	n := r.Len()
+	if n < 0 {
+		n = 0
+	}
+	ds := &Dataset{
+		Names: make([]string, 0, n),
+		Fine:  make([]*Series, 0, n),
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		if rec.Fine == nil {
+			r.Close()
+			return nil, fmt.Errorf("model: stream record %q has no fine series", rec.Name)
+		}
+		ds.Names = append(ds.Names, rec.Name)
+		ds.Fine = append(ds.Fine, rec.Fine)
+		if rec.Grouped {
+			ds.Group = append(ds.Group, rec.Group)
+		}
+		if rec.Coarse != nil {
+			ds.Coarse = append(ds.Coarse, rec.Coarse)
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	// Partial provenance is a malformed stream: either every record
+	// carries a group (coarse series), or none does.
+	if len(ds.Group) != 0 && len(ds.Group) != len(ds.Names) {
+		return nil, fmt.Errorf("model: stream grouped %d of %d records", len(ds.Group), len(ds.Names))
+	}
+	if len(ds.Coarse) != 0 && len(ds.Coarse) != len(ds.Fine) {
+		return nil, fmt.Errorf("model: stream carried coarse series for %d of %d records", len(ds.Coarse), len(ds.Fine))
+	}
+	return ds, nil
+}
+
+// datasetReader adapts a materialized Dataset to the streaming contract.
+type datasetReader struct {
+	ds *Dataset
+	i  int
+}
+
+// DatasetReaderOf wraps an already-materialized Dataset as a DatasetReader
+// — the trivial adapter for sources that only implement Traces. It shares
+// the Dataset's series (no copies), so it bounds nothing; it exists so the
+// streaming path is total over all backends.
+func DatasetReaderOf(ds *Dataset) DatasetReader {
+	return &datasetReader{ds: ds}
+}
+
+func (r *datasetReader) Len() int { return len(r.ds.Fine) }
+
+func (r *datasetReader) Next() (VMRecord, error) {
+	if r.i >= len(r.ds.Fine) {
+		return VMRecord{}, io.EOF
+	}
+	i := r.i
+	r.i++
+	rec := VMRecord{Fine: r.ds.Fine[i]}
+	if i < len(r.ds.Names) {
+		rec.Name = r.ds.Names[i]
+	}
+	if len(r.ds.Group) == len(r.ds.Fine) {
+		rec.Group, rec.Grouped = r.ds.Group[i], true
+	}
+	if len(r.ds.Coarse) == len(r.ds.Fine) {
+		rec.Coarse = r.ds.Coarse[i]
+	}
+	return rec, nil
+}
+
+func (r *datasetReader) Close() error { return nil }
+
+// ctxReader decorates a DatasetReader with per-record cancellation checks.
+type ctxReader struct {
+	DatasetReader
+	ctx context.Context
+}
+
+// ReaderWithContext returns a reader that checks ctx before every record,
+// so a long stream from a source that never blocks (a synthetic generator,
+// a wrapped Dataset) still stops promptly between VM records when the run
+// is cancelled. Transport-backed readers that already thread the context
+// through their fetches don't need it.
+func ReaderWithContext(ctx context.Context, r DatasetReader) DatasetReader {
+	if ctx == nil {
+		return r
+	}
+	return &ctxReader{DatasetReader: r, ctx: ctx}
+}
+
+func (r *ctxReader) Next() (VMRecord, error) {
+	if err := r.ctx.Err(); err != nil {
+		return VMRecord{}, err
+	}
+	return r.DatasetReader.Next()
+}

@@ -1,0 +1,140 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// testDataset builds a small dataset with groups and a coarse granularity.
+func testDataset(t *testing.T, n int) *Dataset {
+	t.Helper()
+	ds := &Dataset{}
+	for i := 0; i < n; i++ {
+		fine := make([]float64, 12)
+		for j := range fine {
+			fine[j] = float64(i+1) + float64(j)/100
+		}
+		s := SeriesFromSamples(time.Second, fine)
+		ds.Names = append(ds.Names, string(rune('a'+i)))
+		ds.Group = append(ds.Group, i%2)
+		ds.Fine = append(ds.Fine, s)
+		ds.Coarse = append(ds.Coarse, s.Downsample(4))
+	}
+	return ds
+}
+
+func TestMaterializeRoundTrip(t *testing.T) {
+	ds := testDataset(t, 4)
+	got, err := Materialize(DatasetReaderOf(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Names) != 4 || len(got.Group) != 4 || len(got.Coarse) != 4 || len(got.Fine) != 4 {
+		t.Fatalf("materialized shape %d/%d/%d/%d, want 4 each",
+			len(got.Names), len(got.Group), len(got.Coarse), len(got.Fine))
+	}
+	for i := range ds.Fine {
+		if got.Names[i] != ds.Names[i] || got.Group[i] != ds.Group[i] {
+			t.Fatalf("record %d: got %q/g%d, want %q/g%d", i, got.Names[i], got.Group[i], ds.Names[i], ds.Group[i])
+		}
+		// The adapter shares series, so identity (not just equality) holds.
+		if got.Fine[i] != ds.Fine[i] || got.Coarse[i] != ds.Coarse[i] {
+			t.Fatalf("record %d: series not shared through the round trip", i)
+		}
+	}
+}
+
+func TestMaterializeWithoutProvenance(t *testing.T) {
+	// A fine-only, ungrouped dataset must round-trip to nil Group/Coarse,
+	// not zero-filled slices — manifests serialize the difference.
+	ds := testDataset(t, 3)
+	ds.Group, ds.Coarse = nil, nil
+	got, err := Materialize(DatasetReaderOf(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Group != nil || got.Coarse != nil {
+		t.Fatalf("materialized Group=%v Coarse=%v, want nil/nil", got.Group, got.Coarse)
+	}
+}
+
+// errReader yields n good records then a terminal error.
+type errReader struct {
+	inner DatasetReader
+	after int
+	err   error
+
+	emitted int
+	closed  bool
+}
+
+func (r *errReader) Len() int { return r.inner.Len() }
+func (r *errReader) Next() (VMRecord, error) {
+	if r.emitted >= r.after {
+		return VMRecord{}, r.err
+	}
+	r.emitted++
+	return r.inner.Next()
+}
+func (r *errReader) Close() error { r.closed = true; return r.inner.Close() }
+
+func TestMaterializeMidStreamErrorClosesReader(t *testing.T) {
+	want := errors.New("mid-stream failure")
+	r := &errReader{inner: DatasetReaderOf(testDataset(t, 4)), after: 2, err: want}
+	if _, err := Materialize(r); !errors.Is(err, want) {
+		t.Fatalf("Materialize() = %v, want %v", err, want)
+	}
+	if !r.closed {
+		t.Fatal("Materialize did not close the reader on a mid-stream error")
+	}
+}
+
+func TestOpenSourceFallsBackToTraces(t *testing.T) {
+	ds := testDataset(t, 2)
+	src := tracesOnlySource{ds: ds}
+	r, err := OpenSource(context.Background(), src, Workload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", r.Len())
+	}
+	rec, err := r.Next()
+	if err != nil || rec.Name != ds.Names[0] {
+		t.Fatalf("Next() = %v, %v; want first record %q", rec.Name, err, ds.Names[0])
+	}
+}
+
+type tracesOnlySource struct{ ds *Dataset }
+
+func (s tracesOnlySource) Check(Workload) error              { return nil }
+func (s tracesOnlySource) Traces(Workload) (*Dataset, error) { return s.ds, nil }
+
+func TestReaderWithContextCancelsBetweenRecords(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := ReaderWithContext(ctx, DatasetReaderOf(testDataset(t, 3)))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := r.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next() after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestDatasetReaderEOF(t *testing.T) {
+	r := DatasetReaderOf(testDataset(t, 1))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next() past the end = %v, want io.EOF", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next() remains io.EOF, got %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package dcsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// recordSmallDir records an 8-VM synthetic workload as a trace directory
+// chunked 3 VMs per file.
+func recordSmallDir(t *testing.T) string {
+	t.Helper()
+	ds, err := GenerateTraces(Workload{Kind: "datacenter", VMs: 8, Groups: 2, Hours: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteTraceDir(dir, ds, 3); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunMaterializeByteIdentical pins the knob at the single-run level:
+// the default streamed ingest and WithMaterialize produce byte-identical
+// results.
+func TestRunMaterializeByteIdentical(t *testing.T) {
+	streamed, err := Run(context.Background(), New(smallOpts()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := Run(context.Background(), New(append(smallOpts(), WithMaterialize(true))...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := json.Marshal(streamed)
+	mj, _ := json.Marshal(mat)
+	if !bytes.Equal(sj, mj) {
+		t.Fatalf("streamed run differs from materialized run:\n%s\nvs\n%s", sj, mj)
+	}
+}
+
+// TestOpenTracesCancelBetweenRecords pins stream cancellation: a context
+// cancelled after some records have been consumed stops the stream at the
+// next record boundary with the context's error, sticky on the reader.
+func TestOpenTracesCancelBetweenRecords(t *testing.T) {
+	dir := recordSmallDir(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r, err := OpenTraces(ctx, Workload{Kind: "trace-dir", VMs: 8, Hours: 2, Path: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	cancel()
+	if _, err := r.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", err)
+	}
+	if _, err := r.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not sticky: %v", err)
+	}
+}
+
+// TestRunCancelledContext pins the run-level path: a cancelled context
+// surfaces context.Canceled out of Run before any placement work.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, New(smallOpts()...)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestTruncatedManifestRejectedBeforePlacement pins the fail-fast
+// contract: a manifest claiming VMs its chunks do not cover is rejected
+// when the stream opens — before any trace bytes are read or any
+// placement runs — both at preflight and through Run.
+func TestTruncatedManifestRejectedBeforePlacement(t *testing.T) {
+	dir := recordSmallDir(t)
+	mPath := filepath.Join(dir, "manifest.json")
+	raw, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	files := m["files"].([]any)
+	m["files"] = files[:len(files)-1] // drop the last chunk; names keep claiming its VMs
+	trunc, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mPath, trunc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w := Workload{Kind: "trace-dir", VMs: 8, Hours: 2, Path: dir}
+	for name, got := range map[string]error{
+		"CheckWorkload": CheckWorkload(w),
+		"OpenTraces": func() error {
+			r, err := OpenTraces(context.Background(), w)
+			if err == nil {
+				r.Close()
+			}
+			return err
+		}(),
+		"Run": func() error {
+			sc := New(smallOpts()...)
+			sc.Workload = w
+			_, err := Run(context.Background(), sc)
+			return err
+		}(),
+	} {
+		if got == nil || !strings.Contains(got.Error(), "manifest files cover") {
+			t.Fatalf("%s = %v, want the manifest-coverage rejection", name, got)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/objstore"
+	"repro/pkg/dcsim"
+)
+
+// materialized returns the grid with every cell forced through the legacy
+// whole-Dataset ingest instead of the streaming fold.
+func materialized(g Grid) Grid {
+	g.Base.Materialize = true
+	return g
+}
+
+// TestStreamMatchesMaterialized pins the streaming data path's core
+// contract on every built-in kind: a sweep over the default streamed
+// ingest produces a byte-identical CSV report to the same sweep with
+// Scenario.Materialize forcing the legacy whole-Dataset path.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	t.Run("synthetic", func(t *testing.T) {
+		g := tinyGrid()
+		streamed := sweepCSV(t, g)
+		if want := sweepCSV(t, materialized(g)); !bytes.Equal(streamed, want) {
+			t.Fatalf("streamed synthetic sweep CSV differs from materialized:\n%s\nvs\n%s", streamed, want)
+		}
+	})
+	t.Run("uncorrelated", func(t *testing.T) {
+		g := tinyGrid()
+		g.Base.Workload.Kind = "uncorrelated"
+		streamed := sweepCSV(t, g)
+		if want := sweepCSV(t, materialized(g)); !bytes.Equal(streamed, want) {
+			t.Fatalf("streamed uncorrelated sweep CSV differs from materialized:\n%s\nvs\n%s", streamed, want)
+		}
+	})
+	t.Run("trace-dir", func(t *testing.T) {
+		g := recordedGrid("trace-dir", recordTinyBase(t))
+		streamed := sweepCSV(t, g)
+		if want := sweepCSV(t, materialized(g)); !bytes.Equal(streamed, want) {
+			t.Fatalf("streamed trace-dir sweep CSV differs from materialized:\n%s\nvs\n%s", streamed, want)
+		}
+	})
+	t.Run("trace-obj", func(t *testing.T) {
+		dir := recordTinyBase(t)
+		srv := httptest.NewServer(&objstore.DirServer{Dir: dir})
+		defer srv.Close()
+		g := recordedGrid("trace-obj", srv.URL)
+		g.Base.Workload.SetOption("cache_dir", filepath.Join(t.TempDir(), "cache"))
+
+		before := dcsim.WorkloadFetchStats()
+		streamed := sweepCSV(t, g)
+		if dcsim.WorkloadFetchStats().ChunkFetches == before.ChunkFetches {
+			t.Fatal("streamed object-store sweep fetched nothing from the store")
+		}
+		if want := sweepCSV(t, materialized(g)); !bytes.Equal(streamed, want) {
+			t.Fatalf("streamed trace-obj sweep CSV differs from materialized:\n%s\nvs\n%s", streamed, want)
+		}
+	})
+}

@@ -1,11 +1,12 @@
 package dcsim
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/objstore"
 	"repro/internal/tracedir"
-	"repro/internal/vmmodel"
 	"repro/pkg/dcsim/model"
 )
 
@@ -71,7 +72,35 @@ func CheckWorkload(w Workload) error {
 // GenerateTraces produces the demand traces a Workload describes through
 // its registered backend: synthesized deterministically in the workload's
 // seed for the built-in generators, streamed from disk for recorded kinds.
+// It is the materialized form of OpenTraces — same records, held all at
+// once.
 func GenerateTraces(w Workload) (*Dataset, error) {
+	r, err := OpenTraces(context.Background(), w)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := model.Materialize(r)
+	if err != nil {
+		return nil, err
+	}
+	kind := kindOrDefault(w.Kind)
+	if ds == nil || len(ds.Fine) == 0 {
+		return nil, fmt.Errorf("dcsim: workload kind %q produced no traces", kind)
+	}
+	if len(ds.Names) != len(ds.Fine) {
+		return nil, fmt.Errorf("dcsim: workload kind %q produced %d names for %d traces",
+			kind, len(ds.Names), len(ds.Fine))
+	}
+	return ds, nil
+}
+
+// OpenTraces opens the VM stream a Workload describes through its
+// registered backend: kind lookup, the backend's fail-fast Check, then the
+// backend's StreamingSource capability when it has one (every built-in
+// kind does) or a materialized fallback for Traces-only backends. The
+// records reproduce GenerateTraces' Dataset exactly; only the memory
+// profile differs. The caller owns the reader and must Close it.
+func OpenTraces(ctx context.Context, w Workload) (model.DatasetReader, error) {
 	src, err := LookupWorkload(w.Kind)
 	if err != nil {
 		return nil, err
@@ -80,29 +109,51 @@ func GenerateTraces(w Workload) (*Dataset, error) {
 	if err := src.Check(w); err != nil {
 		return nil, err
 	}
-	ds, err := src.Traces(w)
+	r, err := model.OpenSource(ctx, src, w)
 	if err != nil {
 		return nil, err
 	}
-	if ds == nil || len(ds.Fine) == 0 {
+	if r.Len() <= 0 {
+		r.Close()
 		return nil, fmt.Errorf("dcsim: workload kind %q produced no traces", w.Kind)
 	}
-	if len(ds.Names) != len(ds.Fine) {
-		return nil, fmt.Errorf("dcsim: workload kind %q produced %d names for %d traces",
-			w.Kind, len(ds.Names), len(ds.Fine))
-	}
-	return ds, nil
+	return r, nil
 }
 
 // VMsFor produces the fine-grained VM population a Workload describes,
 // through the workload-kind registry. RunVMs accepts any VM population,
 // which is the seam ad-hoc trace sources plug into without registering.
 func VMsFor(w Workload) ([]*VM, error) {
-	ds, err := GenerateTraces(w)
+	return vmsFor(context.Background(), w)
+}
+
+// vmsFor is the engine's workload ingest: stream the records and keep only
+// what the full simulator declares it needs — the fine series (its
+// time-major per-sample accounting is the one consumer that genuinely
+// requires them resident) — dropping each record's coarse series and
+// chunk-buffer backing as it arrives. Cancelling ctx stops the ingest
+// between VM records.
+func vmsFor(ctx context.Context, w Workload) ([]*VM, error) {
+	r, err := OpenTraces(ctx, w)
 	if err != nil {
 		return nil, err
 	}
-	return vmmodel.FromSeries(ds.Names, ds.Fine), nil
+	defer r.Close()
+	vms := make([]*VM, 0, r.Len())
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		vms = append(vms, model.NewVM(rec.Name, rec.Fine))
+	}
+	if len(vms) == 0 {
+		return nil, fmt.Errorf("dcsim: workload kind %q produced no traces", kindOrDefault(w.Kind))
+	}
+	return vms, nil
 }
 
 // WorkloadFetchStats snapshots the process's cumulative object-store
